@@ -1,0 +1,113 @@
+// Ablation studies on the DORY backend's design choices (DESIGN.md):
+//   A. double-buffered DMA on/off — end-to-end effect per network
+//   B. Eq. 1 weight balance (alpha vs beta) — tiling quality sensitivity
+//   C. L1 budget sensitivity of end-to-end latency (how much shared L1
+//      does DIANA actually need for these nets?)
+//   D. weight-memory residency — shrink the digital weight memory and watch
+//      the FC reload overhead appear.
+#include "bench_common.hpp"
+#include "dory/schedule.hpp"
+#include "models/layer_zoo.hpp"
+
+namespace htvm {
+namespace {
+
+using bench::Compile;
+using compiler::CompileOptions;
+using models::PrecisionPolicy;
+
+void AblateDoubleBuffering() {
+  bench::PrintHeader("Ablation A: double-buffered tile DMA");
+  std::printf("%-10s %14s %14s %8s\n", "network", "db on [ms]", "db off [ms]",
+              "gain");
+  for (const auto& model : models::MlperfTinySuite()) {
+    const Graph net = model.build(PrecisionPolicy::kInt8);
+    CompileOptions on = CompileOptions::DigitalOnly();
+    CompileOptions off = on;
+    off.tiler.double_buffer = false;
+    const double t_on = Compile(net, on).LatencyMs();
+    const double t_off = Compile(net, off).LatencyMs();
+    std::printf("%-10s %14.3f %14.3f %7.2fx\n", model.name, t_on, t_off,
+                t_off / t_on);
+  }
+}
+
+void AblateObjectiveWeights() {
+  bench::PrintHeader(
+      "Ablation B: Eq. 1 weight balance (single 64ch 32x32 conv, 16 kB L1)");
+  models::ConvLayerParams p;
+  p.c = p.k = 64;
+  p.iy = p.ix = 32;
+  const auto spec = models::MakeConvSpec(p);
+  const hw::DianaConfig cfg;
+  std::printf("%8s %8s %8s | %12s %8s\n", "alpha", "b_pe", "b_dma",
+              "full [cyc]", "tiles");
+  const double alphas[] = {0.0, 1.0, 4.0};
+  const double betas[] = {0.0, 1.0, 3.0, 8.0};
+  for (double a : alphas) {
+    for (double bp : betas) {
+      dory::TilerOptions o;
+      o.l1_budget_bytes = 16 * 1024;
+      o.alpha = a;
+      o.beta_pe = bp;
+      auto sched =
+          dory::BuildSchedule(spec, cfg, dory::AccelTarget::kDigital, o);
+      if (!sched.ok()) continue;
+      std::printf("%8.1f %8.1f %8.2f | %12lld %8zu\n", a, bp, o.beta_dma,
+                  static_cast<long long>(sched->full_cycles),
+                  sched->steps.size());
+    }
+  }
+}
+
+void AblateL1Budget() {
+  bench::PrintHeader("Ablation C: end-to-end latency vs shared L1 size");
+  std::printf("%-10s", "L1 [kB]");
+  for (const auto& model : models::MlperfTinySuite()) {
+    std::printf(" %12s", model.name);
+  }
+  std::printf("\n");
+  for (const i64 kb : {256, 128, 64, 32, 16, 8}) {
+    std::printf("%-10lld", static_cast<long long>(kb));
+    for (const auto& model : models::MlperfTinySuite()) {
+      const Graph net = model.build(PrecisionPolicy::kInt8);
+      CompileOptions opt = CompileOptions::DigitalOnly();
+      opt.tiler.l1_budget_bytes = kb * 1024;
+      auto art = compiler::HtvmCompiler{opt}.Compile(net);
+      if (art.ok()) {
+        std::printf(" %10.2fms", art->LatencyMs());
+      } else {
+        std::printf(" %12s", "infeasible");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void AblateWeightMemory() {
+  bench::PrintHeader(
+      "Ablation D: digital weight-memory size vs ToyAdmos latency "
+      "(FC weight-reload overhead)");
+  std::printf("%10s %12s %10s\n", "wmem [kB]", "lat [ms]", "w-dma [cyc]");
+  const Graph net = models::BuildToyAdmosDae(PrecisionPolicy::kInt8);
+  for (const i64 kb : {256, 128, 64, 32, 16, 8}) {
+    CompileOptions opt = CompileOptions::DigitalOnly();
+    opt.hw.digital.weight_mem_bytes = kb * 1024;
+    const auto art = Compile(net, opt);
+    i64 wdma = 0;
+    for (const auto& k : art.kernels) wdma += k.perf.weight_dma_cycles;
+    std::printf("%10lld %12.3f %10lld\n", static_cast<long long>(kb),
+                art.LatencyMs(), static_cast<long long>(wdma));
+  }
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main() {
+  htvm::AblateDoubleBuffering();
+  htvm::AblateObjectiveWeights();
+  htvm::AblateL1Budget();
+  htvm::AblateWeightMemory();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/pipeline.hpp"
+#include "support/string_utils.hpp"
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm::bench {
+
+inline compiler::Artifact Compile(const Graph& net,
+                                  const compiler::CompileOptions& opt) {
+  auto art = compiler::HtvmCompiler{opt}.Compile(net);
+  HTVM_CHECK_MSG(art.ok(), "bench compile failed");
+  return std::move(art.value());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+// "reproduced vs paper" annotation: our simulator is calibrated for shape,
+// not absolute equality.
+inline void PrintPaperRef(const char* what, double paper, double measured,
+                          const char* unit) {
+  std::printf("  %-44s paper %8.2f %-4s  measured %8.2f %-4s  (x%.2f)\n",
+              what, paper, unit, measured, unit,
+              paper > 0 ? measured / paper : 0.0);
+}
+
+}  // namespace htvm::bench

@@ -1,0 +1,53 @@
+// Host-side compiler throughput (google-benchmark): HTVM runs entirely
+// ahead of time with no autotuning (Sec. II-B), so compile time is the only
+// "tuning" cost a user pays. Measures the full pipeline (constant folding,
+// pattern dispatch, DORY tiling search, memory planning) per network.
+#include <benchmark/benchmark.h>
+
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm {
+namespace {
+
+void BM_CompileNetwork(benchmark::State& state,
+                       Graph (*build)(models::PrecisionPolicy),
+                       models::PrecisionPolicy policy,
+                       compiler::CompileOptions opt) {
+  const Graph net = build(policy);
+  for (auto _ : state) {
+    auto art = compiler::HtvmCompiler{opt}.Compile(net);
+    HTVM_CHECK(art.ok());
+    benchmark::DoNotOptimize(art->kernels.size());
+  }
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main(int argc, char** argv) {
+  using namespace htvm;
+  using models::PrecisionPolicy;
+  const auto digital = compiler::CompileOptions::DigitalOnly();
+  const auto both = compiler::CompileOptions{};
+
+  benchmark::RegisterBenchmark("compile/dscnn/digital", BM_CompileNetwork,
+                               &models::BuildDsCnn, PrecisionPolicy::kInt8,
+                               digital);
+  benchmark::RegisterBenchmark("compile/mobilenet/digital", BM_CompileNetwork,
+                               &models::BuildMobileNetV1,
+                               PrecisionPolicy::kInt8, digital);
+  benchmark::RegisterBenchmark("compile/resnet/digital", BM_CompileNetwork,
+                               &models::BuildResNet8, PrecisionPolicy::kInt8,
+                               digital);
+  benchmark::RegisterBenchmark("compile/toyadmos/digital", BM_CompileNetwork,
+                               &models::BuildToyAdmosDae,
+                               PrecisionPolicy::kInt8, digital);
+  benchmark::RegisterBenchmark("compile/resnet/mixed", BM_CompileNetwork,
+                               &models::BuildResNet8, PrecisionPolicy::kMixed,
+                               both);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

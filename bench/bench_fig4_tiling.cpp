@@ -1,0 +1,97 @@
+// Reproduces Fig. 4: latency of convolutional layers on the digital
+// accelerator as the L1 memory budget shrinks, for three tiler variants:
+//   round   markers — no heuristics       (beta = 0, memory-only objective)
+//   square  markers — H_pe                (Eq. 3 + Eq. 4)
+//   diamond markers — H_pe + H_DMA        (Eq. 3 + Eq. 4 + Eq. 5)
+// The paper reports up to 6.2x speed-up from the heuristics; the "grey
+// area" is where the layer fits L1 untiled.
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "dory/schedule.hpp"
+#include "models/layer_zoo.hpp"
+
+namespace htvm {
+namespace {
+
+dory::TilerOptions Variant(int v, i64 budget) {
+  dory::TilerOptions o;
+  o.l1_budget_bytes = budget;
+  o.enable_pe_heuristics = v >= 1;
+  o.enable_dma_heuristic = v >= 2;
+  return o;
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main(int argc, char** argv) {
+  using namespace htvm;
+  // Optional CSV export for re-plotting: bench_fig4_tiling fig4.csv
+  std::ofstream csv;
+  if (argc > 1) {
+    csv.open(argv[1]);
+    csv << "layer_c,layer_k,layer_hw,l1_kb,none_cycles,hpe_cycles,"
+           "hpe_hdma_cycles,tiled\n";
+  }
+  bench::PrintHeader(
+      "Fig. 4: tiled conv latency vs shrinking L1 budget (digital accel)");
+  const hw::DianaConfig cfg;
+  const std::vector<i64> budgets_kb = {256, 128, 96, 64, 48, 32,
+                                       24,  16,  12, 8,  6,  4};
+  double worst_ratio = 1.0;
+
+  for (const auto& layer : models::Fig4Layers()) {
+    const auto spec = models::MakeConvSpec(layer);
+    std::printf(
+        "\nlayer C=%lld K=%lld %lldx%lld k%lldx%lld (%.2f MMAC)\n",
+        static_cast<long long>(layer.c), static_cast<long long>(layer.k),
+        static_cast<long long>(layer.iy), static_cast<long long>(layer.ix),
+        static_cast<long long>(layer.kh), static_cast<long long>(layer.kw),
+        static_cast<double>(spec.Macs()) / 1e6);
+    std::printf("%8s | %12s %12s %12s | %9s %6s\n", "L1 [kB]", "none [cyc]",
+                "H_pe [cyc]", "+H_dma [cyc]", "gain", "tiled");
+    bench::PrintRule(80);
+
+    for (const i64 kb : budgets_kb) {
+      i64 cycles[3] = {0, 0, 0};
+      bool feasible = true;
+      bool tiled = false;
+      for (int v = 0; v < 3; ++v) {
+        auto sched = dory::BuildSchedule(spec, cfg, dory::AccelTarget::kDigital,
+                                         Variant(v, kb * 1024));
+        if (!sched.ok()) {
+          feasible = false;
+          break;
+        }
+        cycles[v] = sched->full_cycles;
+        tiled = sched->solution.needs_tiling;
+      }
+      if (!feasible) {
+        std::printf("%8lld | %s\n", static_cast<long long>(kb),
+                    "infeasible");
+        continue;
+      }
+      if (csv.is_open()) {
+        csv << layer.c << "," << layer.k << "," << layer.iy << "," << kb
+            << "," << cycles[0] << "," << cycles[1] << "," << cycles[2]
+            << "," << (tiled ? 1 : 0) << "\n";
+      }
+      const double gain =
+          static_cast<double>(cycles[0]) / static_cast<double>(cycles[2]);
+      worst_ratio = std::max(worst_ratio, gain);
+      std::printf("%8lld | %12lld %12lld %12lld | %8.2fx %6s\n",
+                  static_cast<long long>(kb),
+                  static_cast<long long>(cycles[0]),
+                  static_cast<long long>(cycles[1]),
+                  static_cast<long long>(cycles[2]), gain,
+                  tiled ? "yes" : "no (grey)");
+    }
+  }
+
+  std::printf(
+      "\nmax heuristic speed-up across layers/budgets: %.2fx (paper: up to "
+      "6.2x)\n",
+      worst_ratio);
+  return 0;
+}

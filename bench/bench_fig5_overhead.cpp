@@ -1,0 +1,178 @@
+// Reproduces Fig. 5: single-layer overhead characterization on the digital
+// and analog accelerators — peak throughput (accelerator trigger to done,
+// weight transfer included) vs full-kernel throughput (host call to return)
+// across layer geometries, for Conv2D / FC / DWConv2D.
+//
+// Paper reference points:
+//   analog Conv2D:  avg ~5.20% throughput loss, min 0.51%
+//   digital Conv2D: best case only 1.32% loss
+//   digital FC:     fastest layer loses ~54.5%
+//   digital DWConv: never more than 20.7% slower
+// plus Sec. I: digital/analog conv within 15.52% / 5.19% of theoretical
+// peak on average.
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dory/schedule.hpp"
+#include "models/layer_zoo.hpp"
+
+namespace htvm {
+namespace {
+
+struct Point {
+  i64 macs = 0;
+  double peak_tp = 0.0;  // MAC/cycle, trigger-to-done
+  double full_tp = 0.0;  // MAC/cycle, call-to-return
+  double loss_pct = 0.0;
+  i64 tiles = 0;
+};
+
+Point MeasureLayer(const dory::AccelLayerSpec& spec,
+                   dory::AccelTarget target) {
+  const hw::DianaConfig cfg;
+  auto sched = dory::BuildSchedule(spec, cfg, target, {});
+  HTVM_CHECK_MSG(sched.ok(), "schedule failed");
+  Point pt;
+  pt.macs = sched->macs;
+  pt.peak_tp = static_cast<double>(sched->macs) /
+               static_cast<double>(sched->peak_cycles);
+  pt.full_tp = static_cast<double>(sched->macs) /
+               static_cast<double>(sched->full_cycles);
+  pt.loss_pct = 100.0 * (1.0 - pt.full_tp / pt.peak_tp);
+  pt.tiles = static_cast<i64>(sched->steps.size());
+  return pt;
+}
+
+struct SeriesStats {
+  double min_loss = 1e9, max_loss = 0, sum_loss = 0;
+  int n = 0;
+  void Add(const Point& p) {
+    min_loss = std::min(min_loss, p.loss_pct);
+    max_loss = std::max(max_loss, p.loss_pct);
+    sum_loss += p.loss_pct;
+    ++n;
+  }
+  double avg() const { return n ? sum_loss / n : 0; }
+};
+
+std::ofstream* g_csv = nullptr;
+
+SeriesStats RunSeries(const char* name,
+                      const std::vector<dory::AccelLayerSpec>& specs,
+                      dory::AccelTarget target) {
+  std::printf("\n%s\n", name);
+  std::printf("%12s %10s %10s %8s %6s\n", "MACs", "peak MAC/c", "full MAC/c",
+              "loss%", "tiles");
+  SeriesStats stats;
+  for (const auto& spec : specs) {
+    const Point p = MeasureLayer(spec, target);
+    stats.Add(p);
+    std::printf("%12lld %10.2f %10.2f %7.2f%% %6lld\n",
+                static_cast<long long>(p.macs), p.peak_tp, p.full_tp,
+                p.loss_pct, static_cast<long long>(p.tiles));
+    if (g_csv != nullptr && g_csv->is_open()) {
+      (*g_csv) << name << "," << p.macs << "," << p.peak_tp << ","
+               << p.full_tp << "," << p.loss_pct << "," << p.tiles << "\n";
+    }
+  }
+  std::printf("  -> loss min %.2f%%  avg %.2f%%  max %.2f%%\n",
+              stats.min_loss, stats.avg(), stats.max_loss);
+  return stats;
+}
+
+std::vector<dory::AccelLayerSpec> ConvSeries(
+    std::vector<std::pair<i64, i64>> ch_hw, DType wdtype) {
+  std::vector<dory::AccelLayerSpec> out;
+  for (auto [ch, hw] : ch_hw) {
+    models::ConvLayerParams p;
+    p.c = p.k = ch;
+    p.iy = p.ix = hw;
+    p.weight_dtype = wdtype;
+    out.push_back(models::MakeConvSpec(p));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main(int argc, char** argv) {
+  using namespace htvm;
+  bench::PrintHeader("Fig. 5: single-layer overhead characterization");
+  // Optional CSV export for re-plotting: bench_fig5_overhead fig5.csv
+  std::ofstream csv;
+  if (argc > 1) {
+    csv.open(argv[1]);
+    csv << "series,macs,peak_macs_per_cycle,full_macs_per_cycle,loss_pct,"
+           "tiles\n";
+    g_csv = &csv;
+  }
+
+  // --- analog core ---------------------------------------------------------
+  const auto ana_ch = RunSeries(
+      "[analog] Conv2D, channel scaling (16x16 maps)",
+      ConvSeries({{8, 16}, {16, 16}, {32, 16}, {64, 16}, {128, 16}},
+                 DType::kTernary),
+      dory::AccelTarget::kAnalog);
+  const auto ana_sp = RunSeries(
+      "[analog] Conv2D, spatial scaling (C=K=64)",
+      ConvSeries({{64, 8}, {64, 16}, {64, 24}, {64, 32}, {64, 40}},
+                 DType::kTernary),
+      dory::AccelTarget::kAnalog);
+
+  // --- digital core --------------------------------------------------------
+  const auto dig_sp = RunSeries(
+      "[digital] Conv2D, spatial scaling (C=K=32)",
+      ConvSeries({{32, 8}, {32, 16}, {32, 32}, {32, 48}, {32, 64}},
+                 DType::kInt8),
+      dory::AccelTarget::kDigital);
+
+  std::vector<dory::AccelLayerSpec> fc;
+  for (i64 n : {64, 128, 256, 512, 1024}) {
+    fc.push_back(models::MakeDenseSpec(n, n));
+  }
+  const auto dig_fc = RunSeries("[digital] FC, channel scaling (I=O)", fc,
+                                dory::AccelTarget::kDigital);
+
+  std::vector<dory::AccelLayerSpec> dw;
+  for (i64 ch : {16, 32, 64, 128}) {
+    models::ConvLayerParams p;
+    p.depthwise = true;
+    p.c = ch;
+    p.iy = p.ix = 32;
+    dw.push_back(models::MakeConvSpec(p));
+  }
+  const auto dig_dw = RunSeries("[digital] DWConv2D, channel scaling (32x32)",
+                                dw, dory::AccelTarget::kDigital);
+
+  // --- paper reference points ---------------------------------------------
+  std::printf("\nsummary vs paper (Sec. IV-B):\n");
+  bench::PrintPaperRef("analog Conv2D avg loss", 5.20,
+                       (ana_ch.avg() + ana_sp.avg()) / 2, "%");
+  bench::PrintPaperRef("analog Conv2D min loss", 0.51,
+                       std::min(ana_ch.min_loss, ana_sp.min_loss), "%");
+  bench::PrintPaperRef("digital Conv2D best loss", 1.32, dig_sp.min_loss,
+                       "%");
+  bench::PrintPaperRef("digital FC worst loss", 54.5, dig_fc.max_loss, "%");
+  bench::PrintPaperRef("digital DWConv worst loss", 20.7, dig_dw.max_loss,
+                       "%");
+
+  // Sec. I: distance from theoretical peak (256 / dw 3.75 MAC/cycle) for
+  // conv layers, averaged.
+  double dig_util_loss = 0;
+  int n = 0;
+  for (auto [ch, hw] : std::vector<std::pair<i64, i64>>{
+           {32, 16}, {32, 32}, {64, 16}, {64, 32}, {128, 16}}) {
+    models::ConvLayerParams p;
+    p.c = p.k = ch;
+    p.iy = p.ix = hw;
+    const Point pt = MeasureLayer(models::MakeConvSpec(p),
+                                  dory::AccelTarget::kDigital);
+    dig_util_loss += 100.0 * (1.0 - pt.full_tp / 256.0);
+    ++n;
+  }
+  bench::PrintPaperRef("digital conv avg distance from peak", 15.52,
+                       dig_util_loss / n, "%");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces Table I: latency and binary size of the MLPerf(TM) Tiny suite
+// on the DIANA SoC in the four deployment configurations
+//   CPU (plain TVM) | CPU + Digital | CPU + Analog | CPU + Both,
+// with Peak and HTVM (full) latency columns for the accelerated configs.
+#include "bench_common.hpp"
+
+namespace htvm {
+namespace {
+
+using bench::Compile;
+using compiler::Artifact;
+using compiler::CompileOptions;
+using models::PrecisionPolicy;
+
+struct ConfigResult {
+  bool oom = false;
+  double peak_ms = 0.0;
+  double full_ms = 0.0;
+  i64 size_kb = 0;
+};
+
+ConfigResult Measure(const Graph& net, const CompileOptions& opt) {
+  const Artifact art = Compile(net, opt);
+  ConfigResult r;
+  r.oom = !art.memory_plan.fits;
+  r.peak_ms = art.PeakLatencyMs();
+  r.full_ms = art.LatencyMs();
+  r.size_kb = art.size.Total() / 1024;
+  return r;
+}
+
+struct PaperRow {
+  double tvm_ms;  // <0 => OoM
+  double dig_peak, dig_full;
+  double ana_peak, ana_full;
+  double both_peak, both_full;
+  i64 tvm_kb, dig_kb, ana_kb, both_kb;
+};
+
+// Table I values from the paper (latency ms @260 MHz, size kB).
+PaperRow PaperValues(const std::string& name) {
+  if (name == "DSCNN")
+    return {48.24, 1.70, 1.75, 13.51, 13.51, 1.66, 1.69, 59, 60, 93, 81};
+  if (name == "MobileNet")
+    return {-1, 5.42, 5.68, 40.67, 40.67, 5.39, 5.82, 289, 306, 239, 293};
+  if (name == "ResNet")
+    return {134.11, 0.66, 1.19, 1.52, 1.53, 0.61, 1.12, 122, 107, 129, 108};
+  return {4.70, 0.30, 0.36, 0.80, 0.80, 0.49, 0.52, 287, 315, 171, 275};
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main() {
+  using namespace htvm;
+  bench::PrintHeader(
+      "Table I: MLPerf Tiny on DIANA — latency (ms) and binary size (kB)");
+  std::printf(
+      "%-10s | %-12s | %-21s | %-21s | %-21s\n", "", "CPU (TVM)",
+      "CPU+Digital (pk/full)", "CPU+Analog (pk/full)", "CPU+Both (pk/full)");
+  bench::PrintRule();
+
+  for (const auto& model : models::MlperfTinySuite()) {
+    const Graph int8net = model.build(PrecisionPolicy::kInt8);
+    const Graph ternary = model.build(PrecisionPolicy::kTernary);
+    const Graph mixed = model.build(PrecisionPolicy::kMixed);
+
+    const ConfigResult tvm = Measure(int8net, CompileOptions::PlainTvm());
+    const ConfigResult dig = Measure(int8net, CompileOptions::DigitalOnly());
+    const ConfigResult ana = Measure(ternary, CompileOptions::AnalogOnly());
+    const ConfigResult both = Measure(mixed, CompileOptions{});
+    const PaperRow paper = PaperValues(model.name);
+
+    std::printf("%s — %s\n", model.name, model.task);
+    if (tvm.oom) {
+      std::printf("%-10s | %-12s | %7.2f / %-10.2f | %7.2f / %-10.2f | %7.2f / %-10.2f\n",
+                  "Lat. (ms)", "OoM*", dig.peak_ms, dig.full_ms, ana.peak_ms,
+                  ana.full_ms, both.peak_ms, both.full_ms);
+    } else {
+      std::printf("%-10s | %-12.2f | %7.2f / %-10.2f | %7.2f / %-10.2f | %7.2f / %-10.2f\n",
+                  "Lat. (ms)", tvm.full_ms, dig.peak_ms, dig.full_ms,
+                  ana.peak_ms, ana.full_ms, both.peak_ms, both.full_ms);
+    }
+    std::printf("%-10s | %-12lld | %-21lld | %-21lld | %-21lld\n",
+                "Size (kB)", static_cast<long long>(tvm.size_kb),
+                static_cast<long long>(dig.size_kb),
+                static_cast<long long>(ana.size_kb),
+                static_cast<long long>(both.size_kb));
+    const std::string paper_tvm =
+        paper.tvm_ms < 0 ? "OoM*" : StrFormat("%.2f", paper.tvm_ms);
+    std::printf("  paper    | %-12s | %7.2f / %-10.2f | %7.2f / %-10.2f | %7.2f / %-10.2f\n",
+                paper_tvm.c_str(), paper.dig_peak, paper.dig_full,
+                paper.ana_peak, paper.ana_full, paper.both_peak,
+                paper.both_full);
+    std::printf("  paper kB | %-12lld | %-21lld | %-21lld | %-21lld\n",
+                static_cast<long long>(paper.tvm_kb),
+                static_cast<long long>(paper.dig_kb),
+                static_cast<long long>(paper.ana_kb),
+                static_cast<long long>(paper.both_kb));
+    bench::PrintRule();
+
+    // Headline ratios of Sec. IV-C.
+    if (std::string(model.name) == "ResNet" && !tvm.oom) {
+      std::printf("  ResNet speedup digital-HTVM vs TVM: %.0fx (paper 112x)\n",
+                  tvm.full_ms / dig.full_ms);
+      std::printf("  ResNet speedup mixed-HTVM  vs TVM: %.0fx (paper 120x)\n",
+                  tvm.full_ms / both.full_ms);
+      std::printf("  ResNet binary vs TVM at int8: %+.1f%% (paper -12.3%%)\n",
+                  100.0 * (static_cast<double>(dig.size_kb) / tvm.size_kb - 1.0));
+    }
+    if (std::string(model.name) == "DSCNN") {
+      std::printf("  DS-CNN mixed vs analog-only: %.1fx faster (paper 8x)\n",
+                  ana.full_ms / both.full_ms);
+    }
+  }
+  std::printf("\n*Out of Memory: allocation exceeds DIANA's 512 kB L2.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Interactive exploration of DORY's hardware-aware tiling: give a layer
+// geometry and an L1 budget, see the tile solution and cycle breakdown for
+// each heuristic variant (the Fig. 4 experiment for one point).
+//
+//   $ ./examples/tiling_explorer <C> <K> <H> <W> <kernel> <stride> <L1 kB>
+//   $ ./examples/tiling_explorer 64 64 32 32 3 1 16
+#include <cstdio>
+#include <cstdlib>
+
+#include "dory/schedule.hpp"
+#include "models/layer_zoo.hpp"
+
+using namespace htvm;
+
+namespace {
+
+void ShowVariant(const char* name, const dory::AccelLayerSpec& spec,
+                 const dory::TilerOptions& options) {
+  const hw::DianaConfig cfg;
+  auto sched =
+      dory::BuildSchedule(spec, cfg, dory::AccelTarget::kDigital, options);
+  if (!sched.ok()) {
+    std::printf("%-10s infeasible: %s\n", name,
+                sched.status().ToString().c_str());
+    return;
+  }
+  const auto& sol = sched->solution;
+  std::printf(
+      "%-10s tile c=%-3lld k=%-3lld oy=%-3lld ox=%-3lld (in %lldx%lld) "
+      "x%lld tiles%s\n",
+      name, static_cast<long long>(sol.c_t), static_cast<long long>(sol.k_t),
+      static_cast<long long>(sol.oy_t), static_cast<long long>(sol.ox_t),
+      static_cast<long long>(sol.iy_t), static_cast<long long>(sol.ix_t),
+      static_cast<long long>(sched->steps.size()),
+      sol.needs_tiling ? "" : " (fits untiled)");
+  std::printf(
+      "           compute %lld + wdma %lld + exposed-dma %lld + overhead "
+      "%lld = %lld cycles (%.3f ms, %.1f MAC/cyc)\n",
+      static_cast<long long>(sched->compute_cycles),
+      static_cast<long long>(sched->weight_dma_cycles),
+      static_cast<long long>(sched->exposed_act_cycles),
+      static_cast<long long>(sched->overhead_cycles),
+      static_cast<long long>(sched->full_cycles),
+      cfg.CyclesToMs(sched->full_cycles),
+      static_cast<double>(sched->macs) /
+          static_cast<double>(sched->full_cycles));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  models::ConvLayerParams p;
+  p.c = argc > 1 ? std::atoll(argv[1]) : 64;
+  p.k = argc > 2 ? std::atoll(argv[2]) : 64;
+  p.iy = argc > 3 ? std::atoll(argv[3]) : 32;
+  p.ix = argc > 4 ? std::atoll(argv[4]) : 32;
+  p.kh = p.kw = argc > 5 ? std::atoll(argv[5]) : 3;
+  p.stride = argc > 6 ? std::atoll(argv[6]) : 1;
+  const i64 budget_kb = argc > 7 ? std::atoll(argv[7]) : 16;
+
+  const auto spec = models::MakeConvSpec(p);
+  std::printf(
+      "conv C=%lld K=%lld %lldx%lld k%lldx%lld s%lld: %.2f MMACs, L1 budget "
+      "%lld kB\n\n",
+      static_cast<long long>(p.c), static_cast<long long>(p.k),
+      static_cast<long long>(p.iy), static_cast<long long>(p.ix),
+      static_cast<long long>(p.kh), static_cast<long long>(p.kw),
+      static_cast<long long>(p.stride),
+      static_cast<double>(spec.Macs()) / 1e6,
+      static_cast<long long>(budget_kb));
+
+  dory::TilerOptions none;
+  none.l1_budget_bytes = budget_kb * 1024;
+  none.enable_pe_heuristics = false;
+  none.enable_dma_heuristic = false;
+  dory::TilerOptions pe = none;
+  pe.enable_pe_heuristics = true;
+  dory::TilerOptions both = pe;
+  both.enable_dma_heuristic = true;
+
+  ShowVariant("none", spec, none);
+  ShowVariant("H_pe", spec, pe);
+  ShowVariant("H_pe+dma", spec, both);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "compiler/accel_spec.hpp"
+
+#include "hw/analog_accel.hpp"
+
+namespace htvm::compiler {
+
+bool DigitalSupports(const dory::AccelLayerSpec& spec,
+                     const hw::DianaConfig& cfg) {
+  using dory::LayerKind;
+  if (spec.weight_dtype != DType::kInt8 && spec.kind != LayerKind::kAdd) {
+    return false;  // the digital path has no ternary kernels
+  }
+  switch (spec.kind) {
+    case LayerKind::kConv2d:
+    case LayerKind::kDwConv2d:
+      if (spec.sy < 1 || spec.sy > 4 || spec.sx < 1 || spec.sx > 4) {
+        return false;
+      }
+      if (spec.kh > 11 || spec.kw > 11) return false;
+      return true;
+    case LayerKind::kDense:
+    case LayerKind::kAdd:
+      return true;
+  }
+  (void)cfg;
+  return false;
+}
+
+bool AnalogSupports(const dory::AccelLayerSpec& spec,
+                    const hw::DianaConfig& cfg) {
+  using dory::LayerKind;
+  if (spec.weight_dtype != DType::kTernary) return false;
+  switch (spec.kind) {
+    case LayerKind::kConv2d:
+    case LayerKind::kDense: {
+      if (spec.sy < 1 || spec.sy > 2 || spec.sx < 1 || spec.sx > 2) {
+        return false;
+      }
+      // The whole input patch unrolls spatially over macro rows.
+      hw::AnalogLayerGeom g;
+      g.k = spec.k;
+      g.c = spec.c;
+      g.kh = spec.kh;
+      g.kw = spec.kw;
+      return hw::AnalogRowsNeeded(g) <= cfg.analog.array_rows;
+    }
+    case LayerKind::kDwConv2d:
+    case LayerKind::kAdd:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace htvm::compiler

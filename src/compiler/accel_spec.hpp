@@ -1,0 +1,30 @@
+// Accelerator capability rules (the "accelerator-aware rules" of
+// Sec. III-A) for DIANA's two accelerators.
+//
+// The pattern matcher establishes *structure*; these rules check the
+// *parameters* — bit widths, strides, kernel sizes, geometry — and make the
+// final offload decision. Following the paper: "Since both accelerators
+// support convolutions, we discern which accelerator to use by simply
+// looking at the provided weights' bit-width: 8-bit precision goes to
+// digital, and ternary precision goes to analog."
+#pragma once
+
+#include "dory/layer_spec.hpp"
+#include "hw/config.hpp"
+
+namespace htvm::compiler {
+
+// Digital accelerator: int8 (DW)Conv2D / FC / elementwise Add, strides 1-4,
+// kernels up to 11x11.
+bool DigitalSupports(const dory::AccelLayerSpec& spec,
+                     const hw::DianaConfig& cfg);
+
+// Analog IMC: ternary-weight Conv2D (FC deployed as a 1x1 conv); the full
+// input patch C*kh*kw must fit the macro's 1152 rows (no partial sums in
+// the analog domain); output channels tile over column loads freely.
+// Depthwise convolution is NOT supported (the source of the analog-only
+// slowdown on DS-CNN/MobileNet in Table I).
+bool AnalogSupports(const dory::AccelLayerSpec& spec,
+                    const hw::DianaConfig& cfg);
+
+}  // namespace htvm::compiler

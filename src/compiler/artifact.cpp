@@ -1,0 +1,26 @@
+#include "compiler/artifact.hpp"
+
+namespace htvm::compiler {
+
+hw::RunProfile Artifact::Profile() const {
+  hw::RunProfile profile;
+  profile.kernels.reserve(kernels.size());
+  for (const CompiledKernel& k : kernels) profile.kernels.push_back(k.perf);
+  return profile;
+}
+
+i64 Artifact::TotalFullCycles() const {
+  i64 total = 0;
+  for (const CompiledKernel& k : kernels) total += k.perf.full_cycles;
+  return total;
+}
+
+i64 Artifact::TotalPeakCycles() const {
+  i64 total = 0;
+  for (const CompiledKernel& k : kernels) {
+    total += k.target == "cpu" ? k.perf.full_cycles : k.perf.peak_cycles;
+  }
+  return total;
+}
+
+}  // namespace htvm::compiler

@@ -1,0 +1,66 @@
+// The compiled artifact: what `tvmc compile` + DORY codegen would hand to
+// the target — a linear kernel sequence over a lowered graph, an
+// ahead-of-time L2 memory schedule, and a binary-size report.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/dispatch.hpp"
+#include "dory/schedule.hpp"
+#include "hw/perf.hpp"
+#include "ir/graph.hpp"
+#include "tvmgen/binary_size.hpp"
+
+namespace htvm::compiler {
+
+struct CompiledKernel {
+  std::string name;    // e.g. "diana.conv2d#3"
+  std::string target;  // "cpu" | "digital" | "analog"
+  NodeId node = kInvalidNode;  // composite node in kernel_graph
+  hw::KernelPerf perf;
+  i64 code_bytes = 0;
+  i64 weight_bytes = 0;
+  // Present for accelerator kernels: the DORY tile schedule.
+  std::optional<dory::AccelSchedule> schedule;
+};
+
+// One L2 buffer assignment from the ahead-of-time memory schedule.
+struct BufferAssignment {
+  NodeId value = kInvalidNode;  // producing node (input or composite)
+  i64 offset = 0;
+  i64 size = 0;
+  i64 def_time = 0;       // producing node id
+  i64 last_use_time = 0;  // last consuming node id (or end for outputs)
+};
+
+struct MemoryPlan {
+  std::vector<BufferAssignment> buffers;
+  i64 arena_bytes = 0;       // peak of the activation arena
+  i64 total_l2_bytes = 0;    // arena + binary image resident in L2
+  bool fits = true;          // total_l2_bytes <= L2 capacity
+  bool reuse = true;         // liveness-based reuse was enabled
+};
+
+struct Artifact {
+  Graph kernel_graph;  // inputs + constants + composites only
+  std::vector<CompiledKernel> kernels;  // execution order
+  DispatchLog dispatch_log;  // per-match accept/reject decisions
+  MemoryPlan memory_plan;
+  tvmgen::BinarySizeReport size;
+  hw::DianaConfig hw_config;
+
+  hw::RunProfile Profile() const;
+  // End-to-end latency: every kernel at its full (call-to-return) cost.
+  i64 TotalFullCycles() const;
+  // "Peak" deployment latency as reported in Table I: accelerator kernels
+  // at trigger-to-done cost, CPU kernels unchanged.
+  i64 TotalPeakCycles() const;
+  double LatencyMs() const { return hw_config.CyclesToMs(TotalFullCycles()); }
+  double PeakLatencyMs() const {
+    return hw_config.CyclesToMs(TotalPeakCycles());
+  }
+};
+
+}  // namespace htvm::compiler

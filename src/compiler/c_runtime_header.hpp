@@ -1,0 +1,15 @@
+// The fixed runtime header embedded in every emitted deployment.
+//
+// Real HTVM links DIANA's accelerator driver libraries; the emitted code
+// here targets the same call surface, with portable stub implementations so
+// the generated sources compile standalone (tests build them with the host
+// toolchain). Replacing the stubs with board drivers is exactly the porting
+// step (3) of Sec. III-C.
+#pragma once
+
+namespace htvm::compiler {
+
+// Contents of "htvm_runtime.h".
+const char* CRuntimeHeader();
+
+}  // namespace htvm::compiler

@@ -1,0 +1,93 @@
+#include "compiler/memory_planner.hpp"
+
+#include <algorithm>
+
+#include "support/math_utils.hpp"
+
+namespace htvm::compiler {
+namespace {
+constexpr i64 kAlign = 8;  // word-aligned buffers
+}
+
+MemoryPlan PlanL2Memory(const Graph& kernel_graph, i64 image_bytes,
+                        i64 l2_capacity, bool reuse) {
+  MemoryPlan plan;
+  plan.reuse = reuse;
+
+  // Collect values needing L2 buffers: graph inputs and composite outputs.
+  const i64 n = kernel_graph.NumNodes();
+  std::vector<i64> last_use(static_cast<size_t>(n), -1);
+  for (const Node& node : kernel_graph.nodes()) {
+    for (NodeId in : node.inputs) {
+      last_use[static_cast<size_t>(in)] =
+          std::max(last_use[static_cast<size_t>(in)], static_cast<i64>(node.id));
+    }
+  }
+  for (NodeId out : kernel_graph.outputs()) {
+    last_use[static_cast<size_t>(out)] = n;  // outputs live to the end
+  }
+  // Inputs are written by the caller before kernel 0 runs.
+  for (NodeId in : kernel_graph.inputs()) {
+    last_use[static_cast<size_t>(in)] =
+        std::max(last_use[static_cast<size_t>(in)], i64{0});
+  }
+
+  struct Live {
+    i64 offset;
+    i64 size;
+    i64 end;
+  };
+  std::vector<Live> active;
+  i64 peak = 0;
+  i64 bump = 0;  // no-reuse bump allocator
+
+  for (const Node& node : kernel_graph.nodes()) {
+    const bool is_value = node.kind == NodeKind::kInput ||
+                          node.kind == NodeKind::kComposite;
+    if (!is_value) continue;
+    if (last_use[static_cast<size_t>(node.id)] < 0) {
+      // Produced but never consumed and not an output: still needs a slot
+      // while the producing kernel writes it.
+      last_use[static_cast<size_t>(node.id)] = node.id;
+    }
+    const i64 size = AlignUp(node.type.shape.NumElements() *
+                                 DTypeSizeBytes(node.type.dtype),
+                             kAlign);
+    const i64 t = node.id;
+
+    BufferAssignment buf;
+    buf.value = node.id;
+    buf.size = size;
+    buf.def_time = t;
+    buf.last_use_time = last_use[static_cast<size_t>(node.id)];
+
+    if (!reuse) {
+      buf.offset = bump;
+      bump += size;
+      peak = bump;
+    } else {
+      // Expire dead buffers, then first-fit into the lowest gap.
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](const Live& l) { return l.end < t; }),
+                   active.end());
+      std::sort(active.begin(), active.end(),
+                [](const Live& a, const Live& b) { return a.offset < b.offset; });
+      i64 offset = 0;
+      for (const Live& l : active) {
+        if (offset + size <= l.offset) break;
+        offset = std::max(offset, l.offset + l.size);
+      }
+      buf.offset = offset;
+      active.push_back({offset, size, buf.last_use_time});
+      peak = std::max(peak, offset + size);
+    }
+    plan.buffers.push_back(buf);
+  }
+
+  plan.arena_bytes = peak;
+  plan.total_l2_bytes = peak + image_bytes;
+  plan.fits = plan.total_l2_bytes <= l2_capacity;
+  return plan;
+}
+
+}  // namespace htvm::compiler

@@ -1,0 +1,22 @@
+// Ahead-of-time L2 activation memory planner.
+//
+// "HTVM also yields a memory schedule for allocating and de-allocating
+// intermediate activation tensors in main memory (L2)" (Sec. III). We
+// compute buffer liveness over the lowered kernel graph and pack buffers
+// first-fit. The plain-TVM baseline plans *without* reuse (its naive graph
+// executor keeps every intermediate alive), which is what makes MobileNet
+// exceed DIANA's 512 kB L2 in Table I.
+#pragma once
+
+#include "compiler/artifact.hpp"
+
+namespace htvm::compiler {
+
+// Plans the activation arena for `kernel_graph`. `image_bytes` is the
+// binary image (runtime + code + weights) resident in the same L2;
+// `l2_capacity` the total memory. With `reuse` false every value gets a
+// distinct region.
+MemoryPlan PlanL2Memory(const Graph& kernel_graph, i64 image_bytes,
+                        i64 l2_capacity, bool reuse);
+
+}  // namespace htvm::compiler

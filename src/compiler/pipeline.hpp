@@ -1,0 +1,73 @@
+// The HTVM compilation pipeline (Fig. 1 of the paper):
+//
+//   quantized graph -> [constant folding] -> [accelerator-aware pattern
+//   matching + dispatch] -> BYOC DORY backend for matched composites /
+//   TVM-native fused CPU kernels for the rest -> single sequential kernel
+//   program + L2 memory schedule + binary image.
+//
+// Everything runs ahead of time; no autotuning.
+#pragma once
+
+#include "compiler/artifact.hpp"
+#include "compiler/dispatch.hpp"
+#include "dory/tiler.hpp"
+
+namespace htvm::compiler {
+
+struct CompileOptions {
+  // Which accelerators the dispatcher may target. Disabling both (or
+  // setting plain_tvm) reproduces the CPU-only TVM baseline.
+  DispatchOptions dispatch;
+  // Plain-TVM baseline: skip BYOC entirely *and* plan L2 without liveness
+  // reuse (TVM's naive graph executor), keeping the TVM runtime size.
+  bool plain_tvm = false;
+  dory::TilerOptions tiler;
+  tvmgen::SizeModelConfig size_model;
+  hw::DianaConfig hw = hw::DianaConfig::Default();
+
+  static CompileOptions PlainTvm() {
+    CompileOptions o;
+    o.plain_tvm = true;
+    o.dispatch.enable_digital = false;
+    o.dispatch.enable_analog = false;
+    return o;
+  }
+  static CompileOptions DigitalOnly() {
+    CompileOptions o;
+    o.dispatch.enable_analog = false;
+    return o;
+  }
+  static CompileOptions AnalogOnly() {
+    CompileOptions o;
+    o.dispatch.enable_digital = false;
+    return o;
+  }
+  // CPU-only with the hand-tuned kernel library (the TVM+CMSIS-NN-style
+  // configuration of Table II, via the Sec. V BYOC extension hook).
+  static CompileOptions TunedCpuOnly() {
+    CompileOptions o;
+    o.dispatch.enable_digital = false;
+    o.dispatch.enable_analog = false;
+    o.dispatch.enable_tuned_cpu_library = true;
+    return o;
+  }
+};
+
+class HtvmCompiler {
+ public:
+  explicit HtvmCompiler(CompileOptions options) : options_(std::move(options)) {}
+
+  // Compiles a quantized network graph into a deployable artifact.
+  Result<Artifact> Compile(const Graph& network) const;
+
+  const CompileOptions& options() const { return options_; }
+
+ private:
+  CompileOptions options_;
+};
+
+// Rewrites every analog composite body to clamp its activation inputs to
+// the IMC front-end's 7-bit range (exposed for tests).
+Graph InsertAnalogInputClamps(const Graph& partitioned);
+
+}  // namespace htvm::compiler

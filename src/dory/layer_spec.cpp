@@ -1,0 +1,134 @@
+#include "dory/layer_spec.hpp"
+
+namespace htvm::dory {
+
+const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kDwConv2d: return "dwconv2d";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kAdd: return "add";
+  }
+  return "?";
+}
+
+i64 AccelLayerSpec::WeightElems() const {
+  switch (kind) {
+    case LayerKind::kConv2d: return k * c * kh * kw;
+    case LayerKind::kDwConv2d: return c * kh * kw;
+    case LayerKind::kDense: return k * c;
+    case LayerKind::kAdd: return 0;
+  }
+  return 0;
+}
+
+i64 AccelLayerSpec::Macs() const {
+  switch (kind) {
+    case LayerKind::kConv2d: return k * c * oy * ox * kh * kw;
+    case LayerKind::kDwConv2d: return c * oy * ox * kh * kw;
+    case LayerKind::kDense: return k * c;
+    case LayerKind::kAdd: return 0;  // adds are not MACs
+  }
+  return 0;
+}
+
+Result<AccelLayerSpec> AnalyzeCompositeBody(const Graph& body) {
+  // Locate the accumulating anchor op.
+  const Node* anchor = nullptr;
+  for (const Node& n : body.nodes()) {
+    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense") || n.IsOp("add")) {
+      if (anchor != nullptr) {
+        return Status::Unsupported("composite body has multiple anchors");
+      }
+      anchor = &n;
+    }
+  }
+  if (anchor == nullptr) {
+    return Status::Unsupported("composite body has no accelerator anchor op");
+  }
+
+  AccelLayerSpec spec;
+
+  if (anchor->op == "nn.conv2d") {
+    const TensorType& data = body.node(anchor->inputs[0]).type;
+    const Node& weight = body.node(anchor->inputs[1]);
+    if (data.shape.rank() != 4 || data.shape[0] != 1) {
+      return Status::Unsupported("conv2d: batch-1 NCHW input required");
+    }
+    const i64 groups = anchor->attrs.GetInt("groups", 1);
+    const Shape& ws = weight.type.shape;
+    const bool depthwise = groups == data.shape[1] && ws[1] == 1 && groups > 1;
+    if (groups != 1 && !depthwise) {
+      return Status::Unsupported("conv2d: only dense or depthwise groups");
+    }
+    spec.kind = depthwise ? LayerKind::kDwConv2d : LayerKind::kConv2d;
+    spec.c = data.shape[1];
+    spec.iy = data.shape[2];
+    spec.ix = data.shape[3];
+    spec.k = ws[0];
+    spec.kh = ws[2];
+    spec.kw = ws[3];
+    const auto strides = anchor->attrs.GetIntVec("strides", {1, 1});
+    spec.sy = strides[0];
+    spec.sx = strides[1];
+    auto pad = anchor->attrs.GetIntVec("padding", {0, 0, 0, 0});
+    if (pad.size() == 2) pad = {pad[0], pad[1], pad[0], pad[1]};
+    spec.pad_t = pad[0];
+    spec.pad_l = pad[1];
+    spec.pad_b = pad[2];
+    spec.pad_r = pad[3];
+    spec.oy = anchor->type.shape[2];
+    spec.ox = anchor->type.shape[3];
+    spec.weight_dtype = weight.type.dtype;
+  } else if (anchor->op == "nn.dense") {
+    const TensorType& data = body.node(anchor->inputs[0]).type;
+    const Node& weight = body.node(anchor->inputs[1]);
+    if (data.shape[0] != 1) {
+      return Status::Unsupported("dense: batch-1 input required");
+    }
+    spec.kind = LayerKind::kDense;
+    spec.c = data.shape[1];
+    spec.k = weight.type.shape[0];
+    spec.weight_dtype = weight.type.dtype;
+  } else {  // add
+    const TensorType& lhs = body.node(anchor->inputs[0]).type;
+    spec.kind = LayerKind::kAdd;
+    if (lhs.shape.rank() == 4) {
+      spec.c = spec.k = lhs.shape[1];
+      spec.iy = spec.oy = lhs.shape[2];
+      spec.ix = spec.ox = lhs.shape[3];
+    } else {
+      spec.c = spec.k = lhs.shape.NumElements();
+    }
+  }
+
+  // Requantization parameters from the epilogue chain.
+  bool saw_cast = false;
+  for (const Node& n : body.nodes()) {
+    if (n.IsOp("right_shift")) {
+      const Node& shift = body.node(n.inputs[1]);
+      if (shift.kind != NodeKind::kConstant) {
+        return Status::Unsupported("right_shift amount must be constant");
+      }
+      if (shift.value.NumElements() == 1) {
+        spec.requant.shift = shift.value.GetFlat(0);
+      } else {
+        // Per-output-channel requantization (DIANA's output stage applies
+        // the shift per channel, like real quantized models).
+        spec.requant.channel_shifts.resize(
+            static_cast<size_t>(shift.value.NumElements()));
+        for (i64 i = 0; i < shift.value.NumElements(); ++i) {
+          spec.requant.channel_shifts[static_cast<size_t>(i)] =
+              shift.value.GetFlat(i);
+        }
+      }
+    }
+    if (n.IsOp("cast")) saw_cast = true;
+    if (n.IsOp("clip") && saw_cast && n.attrs.GetInt("a_min", -128) == 0) {
+      spec.requant.relu = true;
+    }
+  }
+  return spec;
+}
+
+}  // namespace htvm::dory

@@ -1,0 +1,44 @@
+// DORY layer analyzer: extracts the geometry of an offloadable layer from a
+// matched composite body (Sec. III-B, step "DORY's layer analyzer").
+//
+// A composite body is the fused op chain the pattern matcher captured
+// (Conv2D/Dense/Add -> BiasAdd -> right_shift -> clip -> cast [-> clip]).
+// The analyzer reduces it to the flat AccelLayerSpec the tiler and the cost
+// models consume.
+#pragma once
+
+#include "ir/graph.hpp"
+#include "tensor/quantize.hpp"
+
+namespace htvm::dory {
+
+enum class LayerKind : u8 { kConv2d, kDwConv2d, kDense, kAdd };
+
+const char* LayerKindName(LayerKind kind);
+
+struct AccelLayerSpec {
+  LayerKind kind = LayerKind::kConv2d;
+
+  // Input geometry (batch is always 1 on DIANA).
+  i64 c = 1, iy = 1, ix = 1;
+  // Output geometry.
+  i64 k = 1, oy = 1, ox = 1;
+  // Kernel / stride / padding (conv kinds only).
+  i64 kh = 1, kw = 1, sy = 1, sx = 1;
+  i64 pad_t = 0, pad_l = 0, pad_b = 0, pad_r = 0;
+
+  DType weight_dtype = DType::kInt8;
+  RequantParams requant;
+
+  i64 InputBytes() const { return c * iy * ix; }    // int8 activations
+  i64 OutputBytes() const { return k * oy * ox; }
+  i64 WeightElems() const;
+  i64 Macs() const;
+};
+
+// Analyzes a composite body. Fails with Unsupported when the body is not
+// one of the known accelerator chains (the dispatcher then rejects the
+// match and the ops stay on the CPU path).
+Result<AccelLayerSpec> AnalyzeCompositeBody(const Graph& body);
+
+}  // namespace htvm::dory

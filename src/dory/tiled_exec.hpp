@@ -1,0 +1,28 @@
+// Functional execution of a DORY schedule, tile by tile.
+//
+// This is the simulator analogue of actually *running* DORY's generated C
+// code: input tiles (with halo) are gathered from the L2 tensor, the
+// accelerator computes on the tile, partial sums accumulate in an L1-sized
+// int32 buffer across input-channel tiles, and the requantized int8 tile is
+// scattered back. Its output must be bit-exact with the untiled reference
+// kernel — the core correctness property of hardware-aware tiling
+// (exercised by tests/dory_tiled_exec_test and property sweeps).
+#pragma once
+
+#include "dory/schedule.hpp"
+#include "tensor/quantize.hpp"
+
+namespace htvm::dory {
+
+// Executes the schedule on concrete tensors.
+//   conv kinds: inputs = {data [1,C,iy,ix] int8}, weight + bias required
+//   dense:      inputs = {data [1,C] int8},       weight + bias required
+//   add:        inputs = {lhs, rhs},              weight/bias ignored
+// For analog schedules the data input is clamped to 7 bits first, matching
+// the IMC front-end (and the clip op the compiler inserts into analog
+// composite bodies).
+Result<Tensor> ExecuteTiled(const AccelSchedule& schedule,
+                            std::span<const Tensor> inputs,
+                            const Tensor* weight, const Tensor* bias);
+
+}  // namespace htvm::dory

@@ -1,0 +1,241 @@
+#include "dory/tiler.hpp"
+
+#include <algorithm>
+
+#include "support/math_utils.hpp"
+#include "support/string_utils.hpp"
+
+namespace htvm::dory {
+
+const char* AccelTargetName(AccelTarget t) {
+  return t == AccelTarget::kDigital ? "digital" : "analog";
+}
+
+namespace {
+
+// Input extent an output tile consumes, clamped to the real input: a tile
+// covering the full output width reads at most the full input width — the
+// halo beyond it is padding, synthesized locally rather than transferred.
+i64 InTileDim(i64 out_tile, i64 stride, i64 kernel, i64 in_dim) {
+  return std::min((out_tile - 1) * stride + kernel, in_dim);
+}
+
+// Weight bytes that must reside in the accelerator weight memory for one
+// (k_t, c_t) weight tile.
+i64 WeightTileBytes(const AccelLayerSpec& spec, AccelTarget target, i64 c_t,
+                    i64 k_t) {
+  switch (spec.kind) {
+    case LayerKind::kConv2d: {
+      const i64 elems = k_t * c_t * spec.kh * spec.kw;
+      // Analog weights are 2-bit cells; digital are int8.
+      return target == AccelTarget::kAnalog ? CeilDiv(elems * 2, 8) : elems;
+    }
+    case LayerKind::kDwConv2d:
+      return c_t * spec.kh * spec.kw;
+    case LayerKind::kDense: {
+      const i64 elems = k_t * c_t;
+      return target == AccelTarget::kAnalog ? CeilDiv(elems * 2, 8) : elems;
+    }
+    case LayerKind::kAdd:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+i64 TileL1Bytes(const AccelLayerSpec& spec, AccelTarget target,
+                const TilerOptions& options, i64 c_t, i64 k_t, i64 oy_t,
+                i64 ox_t, bool psum) {
+  const i64 db = options.double_buffer ? 2 : 1;
+  switch (spec.kind) {
+    case LayerKind::kConv2d: {
+      const i64 iy_t = InTileDim(oy_t, spec.sy, spec.kh, spec.iy);
+      const i64 ix_t = InTileDim(ox_t, spec.sx, spec.kw, spec.ix);
+      const i64 in = c_t * iy_t * ix_t;
+      const i64 out = k_t * oy_t * ox_t * (psum ? 4 : 1);
+      // Partial-sum buffers accumulate in place and cannot double buffer.
+      return in * db + out * (psum ? 1 : db);
+    }
+    case LayerKind::kDwConv2d: {
+      const i64 iy_t = InTileDim(oy_t, spec.sy, spec.kh, spec.iy);
+      const i64 ix_t = InTileDim(ox_t, spec.sx, spec.kw, spec.ix);
+      return c_t * iy_t * ix_t * db + c_t * oy_t * ox_t * db;
+    }
+    case LayerKind::kDense:
+      return c_t * db + k_t * (psum ? 4 : db);
+    case LayerKind::kAdd:
+      return 2 * c_t * oy_t * ox_t * db + c_t * oy_t * ox_t * db;
+  }
+  (void)target;
+  return 0;
+}
+
+Result<TileSolution> SolveTiling(const AccelLayerSpec& spec,
+                                 const hw::DianaConfig& cfg,
+                                 AccelTarget target,
+                                 const TilerOptions& options) {
+  const i64 budget =
+      options.l1_budget_bytes > 0 ? options.l1_budget_bytes : cfg.l1_bytes;
+  const i64 weight_mem = target == AccelTarget::kDigital
+                             ? cfg.digital.weight_mem_bytes
+                             : cfg.analog.weight_mem_bytes;
+
+  // --- untiled fast path (Fig. 4 grey area) ------------------------------
+  {
+    TilerOptions single = options;
+    single.double_buffer = false;  // a single pass needs one buffer set
+    const i64 whole = TileL1Bytes(spec, target, single, spec.c, spec.k,
+                                  spec.oy, spec.ox, /*psum=*/false);
+    const i64 wbytes = WeightTileBytes(spec, target, spec.c, spec.k);
+    if (whole < budget && wbytes <= weight_mem) {
+      TileSolution s;
+      s.c_t = spec.c;
+      s.k_t = spec.k;
+      s.oy_t = spec.oy;
+      s.ox_t = spec.ox;
+      s.iy_t = spec.iy;
+      s.ix_t = spec.ix;
+      s.needs_tiling = false;
+      s.l1_bytes = whole;
+      s.objective = 0.0;
+      return s;
+    }
+  }
+
+  // --- candidate sets per dimension ---------------------------------------
+  // Channel dims step on the PE grid (16); spatial dims step finer (4) so
+  // the DMA heuristic has room to trade row count against row length.
+  std::vector<i64> k_cands, c_cands, oy_cands, ox_cands;
+  const bool analog = target == AccelTarget::kAnalog;
+  // The PE grid drives both the candidate step and the alignment rewards;
+  // porting HTVM to another digital array only means changing the config.
+  const i64 pe = cfg.digital.pe_rows;
+  switch (spec.kind) {
+    case LayerKind::kConv2d:
+      k_cands = analog ? std::vector<i64>{spec.k} : TileCandidates(spec.k, pe);
+      c_cands = analog ? std::vector<i64>{spec.c} : TileCandidates(spec.c, pe);
+      oy_cands = TileCandidates(spec.oy, 4);
+      ox_cands = TileCandidates(spec.ox, 4);
+      break;
+    case LayerKind::kDwConv2d:
+      k_cands = {0};  // mirrors c_t
+      c_cands = TileCandidates(spec.c, pe);
+      oy_cands = TileCandidates(spec.oy, 4);
+      ox_cands = TileCandidates(spec.ox, 4);
+      break;
+    case LayerKind::kDense:
+      k_cands = analog ? std::vector<i64>{spec.k} : TileCandidates(spec.k, pe);
+      c_cands = analog ? std::vector<i64>{spec.c} : TileCandidates(spec.c, pe);
+      oy_cands = {1};
+      ox_cands = {1};
+      break;
+    case LayerKind::kAdd:
+      k_cands = {0};
+      c_cands = TileCandidates(spec.c, pe);
+      oy_cands = TileCandidates(spec.oy, 4);
+      ox_cands = TileCandidates(spec.ox, 4);
+      break;
+  }
+
+  TileSolution best;
+  bool found = false;
+  double best_obj = -1.0;
+  i64 best_volume = -1;  // tie-break: prefer bigger (fewer) tiles
+
+  for (const i64 c_t : c_cands) {
+    for (const i64 k_raw : k_cands) {
+      const i64 k_t = (spec.kind == LayerKind::kDwConv2d ||
+                       spec.kind == LayerKind::kAdd)
+                          ? c_t
+                          : k_raw;
+      const bool psum = (spec.kind == LayerKind::kConv2d ||
+                         spec.kind == LayerKind::kDense) &&
+                        c_t < spec.c;
+      if (WeightTileBytes(spec, target, c_t, k_t) > weight_mem) continue;
+      for (const i64 oy_t : oy_cands) {
+        for (const i64 ox_t : ox_cands) {
+          const i64 bytes =
+              TileL1Bytes(spec, target, options, c_t, k_t, oy_t, ox_t, psum);
+          if (bytes >= budget) continue;
+
+          const i64 iy_t = InTileDim(oy_t, spec.sy, spec.kh, spec.iy);
+          const i64 ix_t = InTileDim(ox_t, spec.sx, spec.kw, spec.ix);
+
+          // --- Eq. 1 objective ------------------------------------------
+          double obj = options.alpha * static_cast<double>(bytes) /
+                       static_cast<double>(budget);
+          if (options.enable_pe_heuristics && !analog) {
+            // Eq. 3 + Eq. 4, extended with the same alignment reward on the
+            // K tile — the PE array unrolls output channels over its 16
+            // rows, so a K tile off the grid wastes lanes identically.
+            // Normalized to [0, 1].
+            const double norm = static_cast<double>(pe - 1);
+            double h_pe;
+            if (spec.kind == LayerKind::kDense) {
+              h_pe = static_cast<double>((c_t - 1) % pe + (k_t - 1) % pe) /
+                     (2.0 * norm);
+            } else {
+              h_pe = static_cast<double>((c_t - 1) % pe + (ix_t - 1) % pe +
+                                         (k_t - 1) % pe) /
+                     (3.0 * norm);
+            }
+            obj += options.beta_pe * h_pe;
+          }
+          if (options.enable_dma_heuristic &&
+              spec.kind != LayerKind::kDense) {
+            // Eq. 5 plus the contiguity goal it serves: "to minimize
+            // non-contiguous input data transfers ... we maximize the iy
+            // dimension" — a tile spanning the full input width transfers
+            // as whole C-y-x rows (one descriptor per channel) instead of
+            // per-(channel, row) segments.
+            const double contig = ix_t >= spec.ix ? 1.0 : 0.0;
+            const double h_dma =
+                0.75 * contig +
+                0.25 * static_cast<double>(iy_t) / static_cast<double>(spec.iy);
+            obj += options.beta_dma * h_dma;
+          }
+
+          const i64 volume = c_t * k_t * oy_t * ox_t;
+          const bool better =
+              obj > best_obj + 1e-9 ||
+              (obj > best_obj - 1e-9 && volume > best_volume);
+          if (better) {
+            best_obj = std::max(best_obj, obj);
+            best_volume = volume;
+            best.c_t = c_t;
+            best.k_t = k_t;
+            best.oy_t = oy_t;
+            best.ox_t = ox_t;
+            best.iy_t = std::min(iy_t, spec.iy);
+            best.ix_t = std::min(ix_t, spec.ix);
+            best.psum = psum;
+            best.l1_bytes = bytes;
+            best.objective = obj;
+            found = true;
+          }
+        }
+      }
+    }
+  }
+
+  if (!found) {
+    return Status::ResourceExhausted(StrFormat(
+        "no feasible tiling for %s layer within %lld B L1",
+        LayerKindName(spec.kind), static_cast<long long>(budget)));
+  }
+  best.needs_tiling = true;
+  best.n_c = CeilDiv(spec.c, best.c_t);
+  best.n_k = (spec.kind == LayerKind::kDwConv2d ||
+              spec.kind == LayerKind::kAdd)
+                 ? best.n_c
+                 : CeilDiv(spec.k, best.k_t);
+  best.n_y = CeilDiv(spec.oy, best.oy_t);
+  best.n_x = CeilDiv(spec.ox, best.ox_t);
+  if (spec.kind == LayerKind::kDwConv2d || spec.kind == LayerKind::kAdd) {
+    best.n_k = 1;  // channel grid already counted by n_c
+  }
+  return best;
+}
+
+}  // namespace htvm::dory

@@ -1,0 +1,56 @@
+#include "hw/digital_accel.hpp"
+
+#include "support/math_utils.hpp"
+
+namespace htvm::hw {
+
+i64 ConvTileMacs(const ConvTileGeom& g) {
+  return g.k * g.c * g.oy * g.ox * g.kh * g.kw;
+}
+
+i64 DwConvTileMacs(const ConvTileGeom& g) {
+  return g.c * g.oy * g.ox * g.kh * g.kw;
+}
+
+i64 DigitalConvComputeCycles(const DigitalConfig& cfg,
+                             const ConvTileGeom& g) {
+  // Spatial unroll: K over PE rows, ox over PE columns (ceil => partial
+  // array passes waste lanes). Temporal loop: oy x C x kh x kw with the
+  // input fetch path feeding 16 channels per step (AlignUp => channel tiles
+  // off the 16 grid waste fetch slots). At full utilization this equals
+  // MACs / 256 exactly.
+  const i64 k_passes = CeilDiv(g.k, cfg.pe_rows);
+  const i64 x_passes = CeilDiv(g.ox, cfg.pe_cols);
+  const i64 temporal = g.oy * AlignUp(g.c, cfg.pe_rows) * g.kh * g.kw;
+  return k_passes * x_passes * temporal;
+}
+
+i64 DigitalDwConvComputeCycles(const DigitalConfig& cfg,
+                               const ConvTileGeom& g) {
+  // One active PE row: 16 output columns per pass, dw_mac_num MACs per
+  // dw_mac_den cycles at full occupancy (3.75 MAC/cycle).
+  const i64 lanes = CeilDiv(g.ox, cfg.pe_cols) * cfg.pe_cols;
+  const i64 lane_macs = g.c * g.oy * lanes * g.kh * g.kw;
+  return CeilDiv(lane_macs * cfg.dw_mac_den, cfg.dw_mac_num);
+}
+
+i64 DigitalDenseComputeCycles(const DigitalConfig& cfg, i64 c_t, i64 k_t) {
+  // FC unrolls C and K spatially: one cycle per 16x16 block of the weight
+  // matrix.
+  return CeilDiv(c_t, cfg.pe_rows) * CeilDiv(k_t, cfg.pe_cols);
+}
+
+i64 DigitalPostCycles(const DigitalConfig& cfg, i64 out_elems) {
+  return CeilDiv(out_elems, cfg.post_simd_lanes);
+}
+
+double DigitalPeakMacsPerCycle(const DigitalConfig& cfg) {
+  return static_cast<double>(cfg.pe_rows * cfg.pe_cols);
+}
+
+double DigitalDwPeakMacsPerCycle(const DigitalConfig& cfg) {
+  return static_cast<double>(cfg.dw_mac_num) /
+         static_cast<double>(cfg.dw_mac_den);
+}
+
+}  // namespace htvm::hw

@@ -1,0 +1,55 @@
+// Cycle model of DIANA's digital accelerator (16x16 PE SIMD array).
+//
+// Mapping (paper Sec. III-C):
+//   Conv2D: output channels (K) and output width (ox) unroll onto the two
+//           physical array dimensions; the temporal loop runs over
+//           oy x C x kh x kw. Utilization therefore degrades when the
+//           *input-channel* tile or the *input-width* tile is not a
+//           multiple of 16 — exactly what heuristics Eq. 3 / Eq. 4 reward.
+//   FC:     input channels (C) and output channels (K) unroll spatially.
+//   DWConv: only one PE row is active; peak 3.75 MAC/cycle.
+//
+// The model charges ceil(dim/16) array passes per spatial dimension, so a
+// C_t or ix_t of 17 costs as much as 32 — the utilization cliff Fig. 4's
+// "no heuristics" round markers fall off.
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace htvm::hw {
+
+// Geometry of one tile of a convolution on the accelerator.
+struct ConvTileGeom {
+  i64 k = 1;    // output channels in the tile
+  i64 c = 1;    // input channels in the tile
+  i64 iy = 1;   // input rows in the tile
+  i64 ix = 1;   // input cols in the tile
+  i64 oy = 1;   // output rows produced
+  i64 ox = 1;   // output cols produced
+  i64 kh = 1;   // kernel height
+  i64 kw = 1;   // kernel width
+};
+
+// MAC count of the tile (what the workload fundamentally requires).
+i64 ConvTileMacs(const ConvTileGeom& g);
+i64 DwConvTileMacs(const ConvTileGeom& g);
+
+// Compute cycles between trigger and done (excl. DMA) for one conv tile.
+i64 DigitalConvComputeCycles(const DigitalConfig& cfg, const ConvTileGeom& g);
+
+// Depthwise conv tile (g.k == g.c channels, one filter per channel).
+i64 DigitalDwConvComputeCycles(const DigitalConfig& cfg,
+                               const ConvTileGeom& g);
+
+// Fully-connected tile: `c_t` input features reduced into `k_t` outputs.
+i64 DigitalDenseComputeCycles(const DigitalConfig& cfg, i64 c_t, i64 k_t);
+
+// Output-stage (requant / ReLU / pooling) cycles for `out_elems` results —
+// executed by the accelerator's output SIMD unit.
+i64 DigitalPostCycles(const DigitalConfig& cfg, i64 out_elems);
+
+// Theoretical peak MAC/cycle of the array for standard convolution.
+double DigitalPeakMacsPerCycle(const DigitalConfig& cfg);
+double DigitalDwPeakMacsPerCycle(const DigitalConfig& cfg);
+
+}  // namespace htvm::hw

@@ -1,0 +1,38 @@
+#include "hw/dma.hpp"
+
+#include "support/math_utils.hpp"
+
+namespace htvm::hw {
+
+i64 DmaCost1d(const DmaConfig& cfg, i64 bytes) {
+  if (bytes <= 0) return 0;
+  return cfg.setup_cycles + cfg.row_setup_cycles +
+         CeilDiv(bytes, cfg.bytes_per_cycle);
+}
+
+i64 DmaCost2d(const DmaConfig& cfg, i64 rows, i64 row_bytes) {
+  if (rows <= 0 || row_bytes <= 0) return 0;
+  if (rows == 1) return DmaCost1d(cfg, row_bytes);
+  return cfg.setup_cycles + rows * cfg.row_setup_cycles +
+         CeilDiv(rows * row_bytes, cfg.bytes_per_cycle);
+}
+
+i64 ActTileDmaCost(const DmaConfig& cfg, i64 c, i64 y, i64 x, i64 c_t,
+                   i64 y_t, i64 x_t) {
+  HTVM_CHECK(c_t <= c && y_t <= y && x_t <= x);
+  if (c_t == c && y_t == y && x_t == x) {
+    return DmaCost1d(cfg, c * y * x);
+  }
+  if (x_t == x) {
+    if (y_t == y) {
+      // Whole planes of c_t consecutive channels: one contiguous block.
+      return DmaCost1d(cfg, c_t * y * x);
+    }
+    // Per-channel run of y_t contiguous rows (rows are adjacent in C-y-x).
+    return DmaCost2d(cfg, c_t, y_t * x);
+  }
+  // Partial rows: every (channel, row) pair is a separate segment.
+  return DmaCost2d(cfg, c_t * y_t, x_t);
+}
+
+}  // namespace htvm::hw

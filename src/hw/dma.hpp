@@ -1,0 +1,33 @@
+// DMA engine cost model.
+//
+// DIANA's accelerators see only L1; every activation/weight tile crosses the
+// L2 <-> L1 boundary through DMA. Contiguity is the performance lever: a 2D
+// (strided) transfer pays a per-row descriptor cost, which is why DORY's
+// H_DMA heuristic (Eq. 5) maximizes the input-height tile — fewer, longer
+// contiguous rows in the C-y-x layout.
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace htvm::hw {
+
+// One contiguous transfer of `bytes`.
+i64 DmaCost1d(const DmaConfig& cfg, i64 bytes);
+
+// Strided transfer: `rows` segments of `row_bytes` each. A single row
+// degenerates to the 1D cost.
+i64 DmaCost2d(const DmaConfig& cfg, i64 rows, i64 row_bytes);
+
+// Transfer cost of an activation tile in C-y-x layout. The tile is
+// [c_t, y_t, x_t] cut out of a [c, y, x] tensor (element size 1 byte).
+// Contiguous runs:
+//   - whole tensor tile (c_t==c && y_t==y && x_t==x): one 1D transfer
+//   - full rows (x_t == x): c_t*y_t rows coalesce into c_t contiguous
+//     blocks of y_t*x bytes when y_t==y, else c_t*y_t row-runs of x bytes
+//     ... modelled uniformly as rows = c_t * (y_t == y ? 1 : y_t),
+//     row_bytes = (y_t == y ? y_t : 1) * x_t when x_t == x
+//   - partial rows (x_t < x): every (c, y) pair is its own segment.
+i64 ActTileDmaCost(const DmaConfig& cfg, i64 c, i64 y, i64 x, i64 c_t,
+                   i64 y_t, i64 x_t);
+
+}  // namespace htvm::hw

@@ -1,0 +1,19 @@
+// Graphviz DOT export for network graphs — pre- or post-partitioning.
+// Composite nodes are colored by dispatch target (digital green, analog
+// orange, cpu gray), reproducing the Fig. 1 coloring convention.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace htvm {
+
+struct DotOptions {
+  bool show_constants = false;  // weights clutter large graphs
+  bool show_types = true;
+};
+
+std::string GraphToDot(const Graph& graph, const DotOptions& options = {});
+
+}  // namespace htvm

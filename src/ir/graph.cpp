@@ -1,0 +1,188 @@
+#include "ir/graph.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace htvm {
+
+NodeId Graph::Append(Node node) {
+  node.id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+NodeId Graph::AddInput(const std::string& name, TensorType type) {
+  Node n;
+  n.kind = NodeKind::kInput;
+  n.name = name;
+  n.type = std::move(type);
+  const NodeId id = Append(std::move(n));
+  input_ids_.push_back(id);
+  return id;
+}
+
+NodeId Graph::AddConstant(Tensor value, const std::string& name) {
+  Node n;
+  n.kind = NodeKind::kConstant;
+  n.name = name;
+  n.type = TensorType{value.shape(), value.dtype()};
+  n.value = std::move(value);
+  return Append(std::move(n));
+}
+
+Result<NodeId> Graph::TryAddOp(const std::string& op,
+                               std::vector<NodeId> inputs, AttrMap attrs,
+                               const std::string& name) {
+  RegisterCoreOps();
+  const OpDef* def = OpRegistry::Global().Find(op);
+  if (def == nullptr) {
+    return Status::NotFound("unknown op: " + op);
+  }
+  if (def->arity >= 0 && static_cast<int>(inputs.size()) != def->arity) {
+    return Status::InvalidArgument(
+        StrFormat("op %s expects %d inputs, got %zu", op.c_str(), def->arity,
+                  inputs.size()));
+  }
+  std::vector<TensorType> in_types;
+  in_types.reserve(inputs.size());
+  for (NodeId in : inputs) {
+    if (in < 0 || in >= NumNodes()) {
+      return Status::InvalidArgument("input node id out of range");
+    }
+    in_types.push_back(node(in).type);
+  }
+  auto out_type = def->infer(in_types, attrs);
+  if (!out_type.ok()) {
+    return Status(out_type.status().code(),
+                  op + ": " + out_type.status().message());
+  }
+  Node n;
+  n.kind = NodeKind::kOp;
+  n.op = op;
+  n.name = name;
+  n.inputs = std::move(inputs);
+  n.attrs = std::move(attrs);
+  n.type = std::move(out_type.value());
+  return Append(std::move(n));
+}
+
+NodeId Graph::AddOp(const std::string& op, std::vector<NodeId> inputs,
+                    AttrMap attrs, const std::string& name) {
+  auto result = TryAddOp(op, std::move(inputs), std::move(attrs), name);
+  if (!result.ok()) {
+    detail::FatalError(__FILE__, __LINE__,
+                       result.status().ToString().c_str());
+  }
+  return result.value();
+}
+
+NodeId Graph::AddComposite(const std::string& composite_kind,
+                           std::vector<NodeId> inputs,
+                           std::shared_ptr<const Graph> body, AttrMap attrs) {
+  HTVM_CHECK(body != nullptr);
+  HTVM_CHECK_MSG(body->outputs().size() == 1,
+                 "composite body must have one output");
+  HTVM_CHECK_MSG(body->inputs().size() == inputs.size(),
+                 "composite inputs must match body parameters");
+  Node n;
+  n.kind = NodeKind::kComposite;
+  n.op = composite_kind;
+  n.inputs = std::move(inputs);
+  n.attrs = std::move(attrs);
+  n.attrs.Set("composite", composite_kind);
+  n.type = body->node(body->outputs()[0]).type;
+  n.body = std::move(body);
+  return Append(std::move(n));
+}
+
+void Graph::SetOutputs(std::vector<NodeId> outputs) {
+  for (NodeId id : outputs) HTVM_CHECK(id >= 0 && id < NumNodes());
+  output_ids_ = std::move(outputs);
+}
+
+const Node& Graph::node(NodeId id) const {
+  HTVM_CHECK(id >= 0 && id < NumNodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Node& Graph::mutable_node(NodeId id) {
+  HTVM_CHECK(id >= 0 && id < NumNodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+std::vector<i32> Graph::UseCounts() const {
+  std::vector<i32> uses(nodes_.size(), 0);
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) ++uses[static_cast<size_t>(in)];
+  }
+  for (NodeId out : output_ids_) ++uses[static_cast<size_t>(out)];
+  return uses;
+}
+
+Status Graph::Validate() const {
+  if (output_ids_.empty()) {
+    return Status::InvalidArgument("graph has no outputs");
+  }
+  RegisterCoreOps();
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) {
+      if (in < 0 || in >= n.id) {
+        return Status::InvalidArgument(StrFormat(
+            "node %d consumes node %d (not topologically earlier)", n.id, in));
+      }
+    }
+    if (n.kind == NodeKind::kOp) {
+      const OpDef* def = OpRegistry::Global().Find(n.op);
+      if (def == nullptr) return Status::NotFound("unknown op: " + n.op);
+      std::vector<TensorType> in_types;
+      for (NodeId in : n.inputs) in_types.push_back(node(in).type);
+      auto inferred = def->infer(in_types, n.attrs);
+      if (!inferred.ok()) return inferred.status();
+      if (!(inferred.value() == n.type)) {
+        return Status::Internal(
+            StrFormat("node %d type mismatch: stored %s vs inferred %s", n.id,
+                      n.type.ToString().c_str(),
+                      inferred.value().ToString().c_str()));
+      }
+    } else if (n.kind == NodeKind::kComposite) {
+      if (n.body == nullptr) {
+        return Status::Internal("composite node without body");
+      }
+      HTVM_RETURN_IF_ERROR(n.body->Validate());
+    }
+  }
+  return Status::Ok();
+}
+
+std::string GraphToString(const Graph& graph) {
+  std::string out;
+  for (const Node& n : graph.nodes()) {
+    std::vector<std::string> ins;
+    ins.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) ins.push_back("%" + std::to_string(in));
+    std::string head;
+    switch (n.kind) {
+      case NodeKind::kInput:
+        head = StrFormat("input \"%s\"", n.name.c_str());
+        break;
+      case NodeKind::kConstant:
+        head = "const";
+        break;
+      case NodeKind::kOp:
+        head = n.op + "(" + Join(ins, ", ") + ")";
+        if (!n.attrs.values().empty()) head += " " + n.attrs.ToString();
+        break;
+      case NodeKind::kComposite:
+        head = "composite<" + n.op + ">(" + Join(ins, ", ") + ") " +
+               n.attrs.ToString();
+        break;
+    }
+    out += StrFormat("%%%d: %s : %s\n", n.id, head.c_str(),
+                     n.type.ToString().c_str());
+  }
+  std::vector<std::string> outs;
+  for (NodeId id : graph.outputs()) outs.push_back("%" + std::to_string(id));
+  out += "outputs: " + Join(outs, ", ") + "\n";
+  return out;
+}
+
+}  // namespace htvm

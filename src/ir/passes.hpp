@@ -1,0 +1,40 @@
+// Graph-rewriting passes run by the pipeline before partitioning:
+//   - dead-code elimination (drop nodes unreachable from the outputs)
+//   - constant folding (evaluate op nodes whose inputs are all constants)
+//
+// Constant folding needs an operator evaluator; the IR stays independent of
+// the kernel library by taking it as a callback (the compiler wires in the
+// nn/ interpreter's evaluator).
+#pragma once
+
+#include <functional>
+
+#include "ir/graph.hpp"
+
+namespace htvm {
+
+// Evaluates one op node given materialized input tensors.
+using NodeEvaluator = std::function<Result<Tensor>(
+    const Node& node, std::span<const Tensor> inputs)>;
+
+// Removes nodes not reachable from graph outputs. Ids are compacted.
+Graph DeadCodeElimination(const Graph& graph);
+
+// Folds op nodes with all-constant inputs into constants, then runs DCE.
+// Nodes the evaluator rejects (Unsupported) are left in place.
+Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval);
+
+// Folds explicit nn.pad ops into the padding attribute of the conv2d that
+// consumes them (TFLite imports materialize SAME padding as separate PAD
+// ops; the accelerator patterns expect it on the conv). Pads with other
+// consumers or non-conv consumers stay. Runs DCE afterwards.
+Graph AbsorbPadding(const Graph& graph);
+
+// Rebuilds `graph` keeping only nodes where keep[id] is true; consumers of
+// dropped nodes must themselves be dropped (checked). Returns the id
+// remapping via `old_to_new` when non-null. Shared by the passes and the
+// BYOC partitioner.
+Graph RebuildGraph(const Graph& graph, const std::vector<bool>& keep,
+                   std::vector<NodeId>* old_to_new);
+
+}  // namespace htvm

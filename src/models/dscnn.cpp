@@ -1,0 +1,57 @@
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm::models {
+
+// MLPerf Tiny keyword spotting: DS-CNN on 49x10 MFCC features.
+// conv(64, [7,5]† , s2) -> 4 x [DWConv 3x3 + PWConv 64] -> global avg pool
+// -> FC 12 -> softmax.       († input filter adapted per the paper)
+Graph BuildDsCnn(PrecisionPolicy policy) {
+  // Weighted layers: conv1 + 4 x (dw + pw) + fc = 10.
+  const LayerPrecision prec(policy, 10);
+  GraphBuilder b(/*seed=*/0xBEEF0002);
+  i64 li = 0;
+
+  NodeId x = b.Input("mfcc", Shape{1, 1, 49, 10});
+
+  {
+    ConvSpec spec;
+    spec.out_channels = 64;
+    spec.kernel_h = 7;
+    spec.kernel_w = 5;
+    spec.stride_h = spec.stride_w = 2;
+    spec.relu = true;
+    spec.weight_dtype = prec.For(li++, /*depthwise=*/false);
+    spec = WithSamePadding(spec, 49, 10);
+    x = b.ConvBlock(x, spec, "conv1");  // -> 64 x 25 x 5
+  }
+
+  for (int block = 0; block < 4; ++block) {
+    const std::string tag = "b" + std::to_string(block);
+    {
+      ConvSpec dw;
+      dw.depthwise = true;
+      dw.kernel_h = dw.kernel_w = 3;
+      dw.relu = true;
+      dw.weight_dtype = prec.For(li++, /*depthwise=*/true);
+      dw = WithSamePadding(dw, 25, 5);
+      x = b.ConvBlock(x, dw, tag + ".dw");
+    }
+    {
+      ConvSpec pw;
+      pw.out_channels = 64;
+      pw.kernel_h = pw.kernel_w = 1;
+      pw.relu = true;
+      pw.weight_dtype = prec.For(li++, /*depthwise=*/false);
+      x = b.ConvBlock(x, pw, tag + ".pw");
+    }
+  }
+
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.DenseBlock(x, 12, /*relu=*/false, /*shift=*/6,
+                   prec.For(li++, /*depthwise=*/false), "fc");
+  x = b.Softmax(x);
+  return b.Finish(x);
+}
+
+}  // namespace htvm::models

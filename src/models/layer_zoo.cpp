@@ -1,0 +1,108 @@
+#include "models/layer_zoo.hpp"
+
+namespace htvm::models {
+
+Graph MakeConvLayerGraph(const ConvLayerParams& p) {
+  GraphBuilder b(p.seed);
+  NodeId x = b.Input("data", Shape{1, p.c, p.iy, p.ix});
+  ConvSpec spec;
+  spec.out_channels = p.k;
+  spec.kernel_h = p.kh;
+  spec.kernel_w = p.kw;
+  spec.stride_h = spec.stride_w = p.stride;
+  spec.depthwise = p.depthwise;
+  spec.relu = p.relu;
+  spec.shift = p.shift;
+  spec.weight_dtype = p.weight_dtype;
+  if (p.same_padding) spec = WithSamePadding(spec, p.iy, p.ix);
+  x = b.ConvBlock(x, spec, "layer");
+  return b.Finish(x);
+}
+
+Graph MakeDenseLayerGraph(i64 in_features, i64 out_features,
+                          DType weight_dtype, u64 seed) {
+  GraphBuilder b(seed);
+  NodeId x = b.Input("data", Shape{1, in_features});
+  x = b.DenseBlock(x, out_features, /*relu=*/true, /*shift=*/7, weight_dtype,
+                   "layer");
+  return b.Finish(x);
+}
+
+Graph MakeAddLayerGraph(i64 c, i64 h, i64 w, u64 seed) {
+  GraphBuilder b(seed);
+  NodeId lhs = b.Input("lhs", Shape{1, c, h, w});
+  NodeId rhs = b.Input("rhs", Shape{1, c, h, w});
+  NodeId out = b.AddBlock(lhs, rhs, /*relu=*/false, /*shift=*/1);
+  return b.Finish(out);
+}
+
+dory::AccelLayerSpec MakeConvSpec(const ConvLayerParams& p) {
+  dory::AccelLayerSpec spec;
+  spec.kind = p.depthwise ? dory::LayerKind::kDwConv2d
+                          : dory::LayerKind::kConv2d;
+  spec.c = p.c;
+  spec.iy = p.iy;
+  spec.ix = p.ix;
+  spec.k = p.depthwise ? p.c : p.k;
+  spec.kh = p.kh;
+  spec.kw = p.kw;
+  spec.sy = spec.sx = p.stride;
+  if (p.same_padding) {
+    ConvSpec cs;
+    cs.kernel_h = p.kh;
+    cs.kernel_w = p.kw;
+    cs.stride_h = cs.stride_w = p.stride;
+    cs = WithSamePadding(cs, p.iy, p.ix);
+    spec.pad_t = cs.pad_t;
+    spec.pad_l = cs.pad_l;
+    spec.pad_b = cs.pad_b;
+    spec.pad_r = cs.pad_r;
+  }
+  spec.oy = (p.iy + spec.pad_t + spec.pad_b - p.kh) / p.stride + 1;
+  spec.ox = (p.ix + spec.pad_l + spec.pad_r - p.kw) / p.stride + 1;
+  spec.weight_dtype = p.weight_dtype;
+  spec.requant.shift = p.shift;
+  spec.requant.relu = p.relu;
+  return spec;
+}
+
+dory::AccelLayerSpec MakeDenseSpec(i64 in_features, i64 out_features,
+                                   DType weight_dtype) {
+  dory::AccelLayerSpec spec;
+  spec.kind = dory::LayerKind::kDense;
+  spec.c = in_features;
+  spec.k = out_features;
+  spec.weight_dtype = weight_dtype;
+  spec.requant.shift = 7;
+  spec.requant.relu = true;
+  return spec;
+}
+
+std::vector<ConvLayerParams> Fig4Layers() {
+  // Different channel/spatial balances stress the tiler differently: wide
+  // shallow layers tile spatially, deep narrow layers tile channels.
+  std::vector<ConvLayerParams> layers;
+  {
+    ConvLayerParams p;  // deep, small spatial
+    p.c = 128; p.k = 128; p.iy = p.ix = 8;
+    layers.push_back(p);
+  }
+  {
+    ConvLayerParams p;  // balanced
+    p.c = 64; p.k = 64; p.iy = p.ix = 16;
+    layers.push_back(p);
+  }
+  {
+    ConvLayerParams p;  // shallow, large spatial
+    p.c = 32; p.k = 32; p.iy = p.ix = 32;
+    layers.push_back(p);
+  }
+  {
+    ConvLayerParams p;  // very shallow, very large spatial
+    p.c = 16; p.k = 16; p.iy = p.ix = 64;
+    layers.push_back(p);
+  }
+  return layers;
+}
+
+}  // namespace htvm::models

@@ -1,0 +1,42 @@
+// Single-layer workloads for the tiling study (Fig. 4), the overhead
+// characterization (Fig. 5) and the unit/property tests.
+#pragma once
+
+#include "dory/layer_spec.hpp"
+#include "ir/builder.hpp"
+
+namespace htvm::models {
+
+struct ConvLayerParams {
+  i64 c = 16, iy = 32, ix = 32;
+  i64 k = 16, kh = 3, kw = 3;
+  i64 stride = 1;
+  bool same_padding = true;
+  bool depthwise = false;
+  bool relu = true;
+  i64 shift = 7;
+  DType weight_dtype = DType::kInt8;
+  u64 seed = 7;
+};
+
+// Full single-layer graph (input -> conv chain -> output), ready for the
+// compiler.
+Graph MakeConvLayerGraph(const ConvLayerParams& p);
+
+// Dense single-layer graph.
+Graph MakeDenseLayerGraph(i64 in_features, i64 out_features,
+                          DType weight_dtype = DType::kInt8, u64 seed = 7);
+
+// Residual-add single-layer graph (two inputs).
+Graph MakeAddLayerGraph(i64 c, i64 h, i64 w, u64 seed = 7);
+
+// Direct layer geometry for tiler/cost-model studies (no tensors).
+dory::AccelLayerSpec MakeConvSpec(const ConvLayerParams& p);
+dory::AccelLayerSpec MakeDenseSpec(i64 in_features, i64 out_features,
+                                   DType weight_dtype = DType::kInt8);
+
+// The four convolution workloads swept in Fig. 4 (different sizes and
+// channel counts, all digital-targetable).
+std::vector<ConvLayerParams> Fig4Layers();
+
+}  // namespace htvm::models

@@ -1,0 +1,36 @@
+// MLPerf(TM) Tiny v1.0 benchmark suite topologies (Sec. IV-C).
+//
+// The four reference networks, built programmatically with deterministic
+// synthetic weights (latency and binary size depend on topology and
+// geometry, not weight values — see DESIGN.md). The paper's adaptation of
+// DS-CNN's input filter to [7, 5] is applied.
+#pragma once
+
+#include "ir/builder.hpp"
+#include "models/precision.hpp"
+
+namespace htvm::models {
+
+// CIFAR-10 ResNet-8 image classifier: 3x32x32 -> 10 classes.
+Graph BuildResNet8(PrecisionPolicy policy);
+
+// DS-CNN keyword spotter: 1x49x10 MFCC input -> 12 keywords; first conv
+// filter adapted to [7, 5] per the paper.
+Graph BuildDsCnn(PrecisionPolicy policy);
+
+// MobileNetV1 (alpha = 0.25) visual wake words: 3x96x96 -> 2 classes.
+Graph BuildMobileNetV1(PrecisionPolicy policy);
+
+// ToyADMOS deep autoencoder for anomaly detection: 640 -> ... -> 640.
+Graph BuildToyAdmosDae(PrecisionPolicy policy);
+
+struct MlperfTinyModel {
+  const char* name;           // paper's row label
+  const char* task;           // benchmark task
+  Graph (*build)(PrecisionPolicy);
+};
+
+// The suite in Table I row order.
+std::vector<MlperfTinyModel> MlperfTinySuite();
+
+}  // namespace htvm::models

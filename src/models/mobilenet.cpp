@@ -1,0 +1,70 @@
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm::models {
+
+// MLPerf Tiny visual wake words: MobileNetV1 with width multiplier 0.25 on
+// 96x96 RGB input. Channel progression (x0.25 of the 32..1024 baseline):
+// 8, 16, 32, 32, 64, 64, 128 (x6), 256, 256.
+Graph BuildMobileNetV1(PrecisionPolicy policy) {
+  // Weighted layers: conv1 + 13 x (dw + pw) + fc = 28.
+  const LayerPrecision prec(policy, 28);
+  GraphBuilder b(/*seed=*/0xBEEF0003);
+  i64 li = 0;
+
+  NodeId x = b.Input("image", Shape{1, 3, 96, 96});
+  i64 hw = 96;
+
+  {
+    ConvSpec spec;
+    spec.out_channels = 8;
+    spec.kernel_h = spec.kernel_w = 3;
+    spec.stride_h = spec.stride_w = 2;
+    spec.relu = true;
+    spec.weight_dtype = prec.For(li++, /*depthwise=*/false);
+    spec = WithSamePadding(spec, hw, hw);
+    x = b.ConvBlock(x, spec, "conv1");
+    hw = 48;
+  }
+
+  struct Block {
+    i64 pw_out;
+    i64 dw_stride;
+  };
+  const Block blocks[] = {
+      {16, 1},  {32, 2},  {32, 1},  {64, 2},  {64, 1},  {128, 2}, {128, 1},
+      {128, 1}, {128, 1}, {128, 1}, {128, 1}, {256, 2}, {256, 1},
+  };
+
+  int index = 0;
+  for (const Block& blk : blocks) {
+    const std::string tag = "b" + std::to_string(index++);
+    {
+      ConvSpec dw;
+      dw.depthwise = true;
+      dw.kernel_h = dw.kernel_w = 3;
+      dw.stride_h = dw.stride_w = blk.dw_stride;
+      dw.relu = true;
+      dw.weight_dtype = prec.For(li++, /*depthwise=*/true);
+      dw = WithSamePadding(dw, hw, hw);
+      x = b.ConvBlock(x, dw, tag + ".dw");
+      if (blk.dw_stride == 2) hw /= 2;
+    }
+    {
+      ConvSpec pw;
+      pw.out_channels = blk.pw_out;
+      pw.kernel_h = pw.kernel_w = 1;
+      pw.relu = true;
+      pw.weight_dtype = prec.For(li++, /*depthwise=*/false);
+      x = b.ConvBlock(x, pw, tag + ".pw");
+    }
+  }
+
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.DenseBlock(x, 2, /*relu=*/false, /*shift=*/6,
+                   prec.For(li++, /*depthwise=*/false), "fc");
+  x = b.Softmax(x);
+  return b.Finish(x);
+}
+
+}  // namespace htvm::models

@@ -1,0 +1,14 @@
+#include "models/precision.hpp"
+
+namespace htvm::models {
+
+const char* PrecisionPolicyName(PrecisionPolicy p) {
+  switch (p) {
+    case PrecisionPolicy::kInt8: return "int8";
+    case PrecisionPolicy::kTernary: return "ternary";
+    case PrecisionPolicy::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+}  // namespace htvm::models

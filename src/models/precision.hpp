@@ -1,0 +1,46 @@
+// Per-layer weight-precision policies for DIANA deployments (Sec. IV-C).
+//
+// The dispatcher routes by weight bit-width (int8 -> digital, ternary ->
+// analog), so the deployment *configuration* of Table I is expressed as a
+// precision policy over the network's weighted layers:
+//
+//   kInt8    all layers int8      (CPU-only and CPU+Digital columns)
+//   kTernary every analog-capable layer ternary (CPU+Analog column;
+//            depthwise stays int8 because the IMC cannot run it)
+//   kMixed   first and last accelerator-eligible layers and all DWConv2D
+//            layers int8 (digital), the rest ternary (analog) — the paper's
+//            accuracy-preserving mixed configuration (CPU+Both column)
+#pragma once
+
+#include "tensor/dtype.hpp"
+#include "support/common.hpp"
+
+namespace htvm::models {
+
+enum class PrecisionPolicy : u8 { kInt8, kTernary, kMixed };
+
+const char* PrecisionPolicyName(PrecisionPolicy p);
+
+class LayerPrecision {
+ public:
+  LayerPrecision(PrecisionPolicy policy, i64 num_weighted_layers)
+      : policy_(policy), n_(num_weighted_layers) {}
+
+  // Weight dtype for the weighted layer at `index` (0-based, in execution
+  // order). `depthwise` layers and layers the analog macro cannot hold
+  // (`analog_capable == false`) always stay int8.
+  DType For(i64 index, bool depthwise, bool analog_capable = true) const {
+    if (policy_ == PrecisionPolicy::kInt8) return DType::kInt8;
+    if (depthwise || !analog_capable) return DType::kInt8;
+    if (policy_ == PrecisionPolicy::kMixed && (index == 0 || index == n_ - 1)) {
+      return DType::kInt8;
+    }
+    return DType::kTernary;
+  }
+
+ private:
+  PrecisionPolicy policy_;
+  i64 n_;
+};
+
+}  // namespace htvm::models

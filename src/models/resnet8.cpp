@@ -1,0 +1,61 @@
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm::models {
+
+// MLPerf Tiny image classification: ResNet-8 for CIFAR-10.
+// conv(16) -> [stack 16, s1] -> [stack 32, s2] -> [stack 64, s2]
+// each stack: conv-conv plus a (projected) skip, requantized add, then
+// global average pooling, FC 10, softmax.
+Graph BuildResNet8(PrecisionPolicy policy) {
+  // Weighted layers: conv1, 3 stacks x (2 convs + optional 1x1 projection),
+  // final dense: 1 + 2 + 3 + 3 + 1 = 10.
+  const LayerPrecision prec(policy, 10);
+  GraphBuilder b(/*seed=*/0xBEEF0001);
+  i64 li = 0;  // weighted-layer index
+
+  NodeId x = b.Input("image", Shape{1, 3, 32, 32});
+
+  const auto conv = [&](NodeId in, i64 k, i64 kernel, i64 stride, bool relu,
+                        i64 in_hw, const std::string& name) {
+    ConvSpec spec;
+    spec.out_channels = k;
+    spec.kernel_h = spec.kernel_w = kernel;
+    spec.stride_h = spec.stride_w = stride;
+    spec.relu = relu;
+    spec.weight_dtype = prec.For(li++, /*depthwise=*/false);
+    spec = WithSamePadding(spec, in_hw, in_hw);
+    return b.ConvBlock(in, spec, name);
+  };
+
+  x = conv(x, 16, 3, 1, true, 32, "conv1");
+
+  // Stack 1: identity skip.
+  {
+    NodeId y = conv(x, 16, 3, 1, true, 32, "s1.conv1");
+    y = conv(y, 16, 3, 1, false, 32, "s1.conv2");
+    x = b.AddBlock(x, y, /*relu=*/true, /*shift=*/1);
+  }
+  // Stack 2: stride-2, projected skip.
+  {
+    NodeId y = conv(x, 32, 3, 2, true, 32, "s2.conv1");
+    y = conv(y, 32, 3, 1, false, 16, "s2.conv2");
+    NodeId skip = conv(x, 32, 1, 2, false, 32, "s2.proj");
+    x = b.AddBlock(skip, y, /*relu=*/true, /*shift=*/1);
+  }
+  // Stack 3.
+  {
+    NodeId y = conv(x, 64, 3, 2, true, 16, "s3.conv1");
+    y = conv(y, 64, 3, 1, false, 8, "s3.conv2");
+    NodeId skip = conv(x, 64, 1, 2, false, 16, "s3.proj");
+    x = b.AddBlock(skip, y, /*relu=*/true, /*shift=*/1);
+  }
+
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.DenseBlock(x, 10, /*relu=*/false, /*shift=*/6,
+                   prec.For(li++, /*depthwise=*/false), "fc");
+  x = b.Softmax(x);
+  return b.Finish(x);
+}
+
+}  // namespace htvm::models

@@ -1,0 +1,34 @@
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm::models {
+
+// MLPerf Tiny anomaly detection: the ToyADMOS deep autoencoder.
+// 640 -> 128 x4 -> 8 -> 128 x4 -> 640, ReLU between layers, linear output.
+// All layers are fully connected; on the analog accelerator they deploy as
+// 1x1 convolutions (Sec. IV-C).
+Graph BuildToyAdmosDae(PrecisionPolicy policy) {
+  const i64 widths[] = {128, 128, 128, 128, 8, 128, 128, 128, 128, 640};
+  const i64 n_layers = static_cast<i64>(std::size(widths));
+  const LayerPrecision prec(policy, n_layers);
+  GraphBuilder b(/*seed=*/0xBEEF0004);
+
+  NodeId x = b.Input("frame", Shape{1, 640});
+  for (i64 i = 0; i < n_layers; ++i) {
+    const bool last = i == n_layers - 1;
+    x = b.DenseBlock(x, widths[i], /*relu=*/!last, /*shift=*/7,
+                     prec.For(i, /*depthwise=*/false),
+                     "fc" + std::to_string(i));
+  }
+  return b.Finish(x);
+}
+
+std::vector<MlperfTinyModel> MlperfTinySuite() {
+  return {
+      {"DSCNN", "Keyword Spotting", &BuildDsCnn},
+      {"MobileNet", "Visual Wake Words", &BuildMobileNetV1},
+      {"ResNet", "Image Classification", &BuildResNet8},
+      {"ToyAdmos", "Anomaly Detection", &BuildToyAdmosDae},
+  };
+}
+
+}  // namespace htvm::models

@@ -1,0 +1,101 @@
+#include "nn/kernels.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace htvm::nn {
+
+Result<Tensor> Conv2d(const Tensor& data, const Tensor& weight,
+                      const std::vector<i64>& strides,
+                      const std::vector<i64>& padding, i64 groups) {
+  if (data.shape().rank() != 4 || weight.shape().rank() != 4) {
+    return Status::InvalidArgument("conv2d: rank-4 tensors required");
+  }
+  if (data.dtype() != DType::kInt8) {
+    return Status::InvalidArgument("conv2d: int8 data required");
+  }
+  if (weight.dtype() != DType::kInt8 && weight.dtype() != DType::kTernary) {
+    return Status::InvalidArgument("conv2d: int8/ternary weight required");
+  }
+  const i64 N = data.shape()[0], C = data.shape()[1];
+  const i64 H = data.shape()[2], W = data.shape()[3];
+  const i64 K = weight.shape()[0], Cg = weight.shape()[1];
+  const i64 kh = weight.shape()[2], kw = weight.shape()[3];
+  if (groups <= 0 || C % groups != 0 || K % groups != 0 || Cg != C / groups) {
+    return Status::InvalidArgument("conv2d: inconsistent groups");
+  }
+  const i64 sy = strides.size() > 0 ? strides[0] : 1;
+  const i64 sx = strides.size() > 1 ? strides[1] : 1;
+  std::vector<i64> pad = padding;
+  if (pad.empty()) pad = {0, 0, 0, 0};
+  if (pad.size() == 2) pad = {pad[0], pad[1], pad[0], pad[1]};
+  if (pad.size() != 4) {
+    return Status::InvalidArgument("conv2d: bad padding");
+  }
+  const i64 oh = (H + pad[0] + pad[2] - kh) / sy + 1;
+  const i64 ow = (W + pad[1] + pad[3] - kw) / sx + 1;
+  if (oh <= 0 || ow <= 0) {
+    return Status::InvalidArgument("conv2d: empty output");
+  }
+
+  Tensor out(Shape{N, K, oh, ow}, DType::kInt32);
+  const i8* d = reinterpret_cast<const i8*>(data.raw());
+  const i8* w = reinterpret_cast<const i8*>(weight.raw());
+  i32* o = reinterpret_cast<i32*>(out.raw());
+  const i64 kpg = K / groups;  // output channels per group
+
+  for (i64 n = 0; n < N; ++n) {
+    for (i64 k = 0; k < K; ++k) {
+      const i64 g = k / kpg;
+      for (i64 oy = 0; oy < oh; ++oy) {
+        for (i64 ox = 0; ox < ow; ++ox) {
+          i64 acc = 0;
+          for (i64 c = 0; c < Cg; ++c) {
+            const i64 ic = g * Cg + c;
+            for (i64 fy = 0; fy < kh; ++fy) {
+              const i64 iy = oy * sy + fy - pad[0];
+              if (iy < 0 || iy >= H) continue;
+              const i8* drow = d + ((n * C + ic) * H + iy) * W;
+              const i8* wrow = w + ((k * Cg + c) * kh + fy) * kw;
+              for (i64 fx = 0; fx < kw; ++fx) {
+                const i64 ix = ox * sx + fx - pad[1];
+                if (ix < 0 || ix >= W) continue;
+                acc += static_cast<i64>(drow[ix]) *
+                       static_cast<i64>(wrow[fx]);
+              }
+            }
+          }
+          o[((n * K + k) * oh + oy) * ow + ox] = static_cast<i32>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tensor> Dense(const Tensor& data, const Tensor& weight) {
+  if (data.shape().rank() != 2 || weight.shape().rank() != 2) {
+    return Status::InvalidArgument("dense: rank-2 tensors required");
+  }
+  if (data.shape()[1] != weight.shape()[1]) {
+    return Status::InvalidArgument("dense: reduction dims differ");
+  }
+  const i64 N = data.shape()[0], I = data.shape()[1], O = weight.shape()[0];
+  Tensor out(Shape{N, O}, DType::kInt32);
+  const i8* d = reinterpret_cast<const i8*>(data.raw());
+  const i8* w = reinterpret_cast<const i8*>(weight.raw());
+  i32* o = reinterpret_cast<i32*>(out.raw());
+  for (i64 n = 0; n < N; ++n) {
+    for (i64 k = 0; k < O; ++k) {
+      i64 acc = 0;
+      const i8* drow = d + n * I;
+      const i8* wrow = w + k * I;
+      for (i64 i = 0; i < I; ++i) {
+        acc += static_cast<i64>(drow[i]) * static_cast<i64>(wrow[i]);
+      }
+      o[n * O + k] = static_cast<i32>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace htvm::nn

@@ -1,0 +1,113 @@
+#include "nn/kernels.hpp"
+
+#include "support/math_utils.hpp"
+
+namespace htvm::nn {
+
+Result<Tensor> BiasAdd(const Tensor& data, const Tensor& bias, i64 axis) {
+  if (axis < 0 || axis >= data.shape().rank()) {
+    return Status::InvalidArgument("bias_add: axis out of range");
+  }
+  if (bias.shape().rank() != 1 ||
+      bias.shape()[0] != data.shape()[axis]) {
+    return Status::InvalidArgument("bias_add: bias length mismatch");
+  }
+  Tensor out(data.shape(), data.dtype());
+  // Stride between consecutive indices along `axis`, and the block length
+  // over which the same bias value applies.
+  i64 inner = 1;
+  for (i64 i = axis + 1; i < data.shape().rank(); ++i) inner *= data.shape()[i];
+  const i64 channels = data.shape()[axis];
+  const i64 n = data.NumElements();
+  for (i64 i = 0; i < n; ++i) {
+    const i64 c = (i / inner) % channels;
+    out.SetFlat(i, data.GetFlat(i) + bias.GetFlat(c));
+  }
+  return out;
+}
+
+Result<Tensor> RightShift(const Tensor& data, const Tensor& shift) {
+  const i64 n_shift = shift.NumElements();
+  const bool per_channel =
+      data.shape().rank() >= 2 && n_shift == data.shape()[1] && n_shift > 1;
+  if (n_shift != 1 && !per_channel) {
+    return Status::InvalidArgument(
+        "right_shift: scalar or per-channel shift required");
+  }
+  for (i64 i = 0; i < n_shift; ++i) {
+    const i64 s = shift.GetFlat(i);
+    if (s < 0 || s > 31) {
+      return Status::InvalidArgument("right_shift: shift out of [0,31]");
+    }
+  }
+  Tensor out(data.shape(), data.dtype());
+  const i64 n = data.NumElements();
+  if (!per_channel) {
+    const i64 s = shift.GetFlat(0);
+    for (i64 i = 0; i < n; ++i) {
+      out.SetFlat(i, RoundingRightShift(data.GetFlat(i), s));
+    }
+    return out;
+  }
+  i64 inner = 1;
+  for (i64 d = 2; d < data.shape().rank(); ++d) inner *= data.shape()[d];
+  const i64 channels = data.shape()[1];
+  for (i64 i = 0; i < n; ++i) {
+    const i64 c = (i / inner) % channels;
+    out.SetFlat(i, RoundingRightShift(data.GetFlat(i), shift.GetFlat(c)));
+  }
+  return out;
+}
+
+Result<Tensor> Clip(const Tensor& data, i64 a_min, i64 a_max) {
+  Tensor out(data.shape(), data.dtype());
+  const i64 n = data.NumElements();
+  for (i64 i = 0; i < n; ++i) {
+    out.SetFlat(i, Clamp(data.GetFlat(i), a_min, a_max));
+  }
+  return out;
+}
+
+Result<Tensor> Cast(const Tensor& data, DType dtype) {
+  Tensor out(data.shape(), dtype);
+  const i64 n = data.NumElements();
+  i64 lo = -(i64{1} << 62), hi = (i64{1} << 62);
+  switch (dtype) {
+    case DType::kInt8:
+    case DType::kTernary: lo = -128; hi = 127; break;
+    case DType::kInt16: lo = -32768; hi = 32767; break;
+    case DType::kInt32: lo = INT32_MIN; hi = INT32_MAX; break;
+    case DType::kFloat32: break;
+  }
+  for (i64 i = 0; i < n; ++i) {
+    out.SetFlat(i, Clamp(data.GetFlat(i), lo, hi));
+  }
+  return out;
+}
+
+Result<Tensor> Relu(const Tensor& data) {
+  Tensor out(data.shape(), data.dtype());
+  const i64 n = data.NumElements();
+  for (i64 i = 0; i < n; ++i) {
+    out.SetFlat(i, std::max<i64>(0, data.GetFlat(i)));
+  }
+  return out;
+}
+
+Result<Tensor> Add(const Tensor& lhs, const Tensor& rhs) {
+  if (!(lhs.shape() == rhs.shape())) {
+    return Status::InvalidArgument("add: shapes differ");
+  }
+  const DType out_t =
+      (lhs.dtype() == DType::kInt8 && rhs.dtype() == DType::kInt8)
+          ? DType::kInt32
+          : lhs.dtype();
+  Tensor out(lhs.shape(), out_t);
+  const i64 n = lhs.NumElements();
+  for (i64 i = 0; i < n; ++i) {
+    out.SetFlat(i, lhs.GetFlat(i) + rhs.GetFlat(i));
+  }
+  return out;
+}
+
+}  // namespace htvm::nn

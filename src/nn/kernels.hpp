@@ -1,0 +1,61 @@
+// Bit-exact reference kernels for the quantized op vocabulary.
+//
+// These serve three roles:
+//   1. functional model of the TVM-generated CPU kernels,
+//   2. ground truth that accelerator execution (tiled, on the DIANA
+//      simulator) must reproduce exactly,
+//   3. evaluator for constant folding.
+//
+// All accumulation happens in int64 to make saturation behaviour explicit
+// and overflow-free; outputs are narrowed exactly as the op semantics say.
+#pragma once
+
+#include "ir/attrs.hpp"
+#include "support/status.hpp"
+#include "tensor/tensor.hpp"
+
+namespace htvm::nn {
+
+// nn.conv2d: data [N,C,H,W] int8 x weight [K,C/g,kh,kw] int8|ternary ->
+// int32 [N,K,oh,ow]. Grouped convolution covers depthwise (g == C).
+Result<Tensor> Conv2d(const Tensor& data, const Tensor& weight,
+                      const std::vector<i64>& strides,
+                      const std::vector<i64>& padding, i64 groups);
+
+// nn.dense: data [N,I] x weight [O,I] -> int32 [N,O].
+Result<Tensor> Dense(const Tensor& data, const Tensor& weight);
+
+// nn.bias_add along `axis`.
+Result<Tensor> BiasAdd(const Tensor& data, const Tensor& bias, i64 axis);
+
+// right_shift with rounding (requant step 1). `shift` is a scalar tensor.
+Result<Tensor> RightShift(const Tensor& data, const Tensor& shift);
+
+// clip to [a_min, a_max], same dtype.
+Result<Tensor> Clip(const Tensor& data, i64 a_min, i64 a_max);
+
+// cast with saturation into the target integer dtype.
+Result<Tensor> Cast(const Tensor& data, DType dtype);
+
+Result<Tensor> Relu(const Tensor& data);
+
+// add with int8->int32 promotion (residual accumulator domain).
+Result<Tensor> Add(const Tensor& lhs, const Tensor& rhs);
+
+Result<Tensor> AvgPool2d(const Tensor& data, const std::vector<i64>& pool,
+                         const std::vector<i64>& strides,
+                         const std::vector<i64>& padding);
+Result<Tensor> MaxPool2d(const Tensor& data, const std::vector<i64>& pool,
+                         const std::vector<i64>& strides,
+                         const std::vector<i64>& padding);
+Result<Tensor> GlobalAvgPool2d(const Tensor& data);
+
+// nn.pad: zero padding of the spatial dims, pad_width = [t, l, b, r].
+Result<Tensor> Pad2d(const Tensor& data, const std::vector<i64>& pad_width);
+
+// Deterministic int8 softmax: exact max-subtraction + table-free
+// fixed-point exponent (matches itself across platforms; the paper's nets
+// end in softmax on the CPU).
+Result<Tensor> Softmax(const Tensor& data);
+
+}  // namespace htvm::nn

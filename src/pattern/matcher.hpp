@@ -1,0 +1,39 @@
+// Pattern matching over the graph IR.
+//
+// A successful match identifies:
+//   - the set of graph nodes *internal* to the pattern (the ops that fuse
+//     into one composite, plus captured constants),
+//   - the ordered *external inputs* (wildcard-matched producers that become
+//     the composite's arguments),
+//   - label -> node bindings for predicate inspection by dispatch rules.
+//
+// Matching is purely structural; the accelerator-aware *rules* (bit-width,
+// stride, geometry constraints — Sec. III-A) are applied afterwards by the
+// dispatcher via the MatchPredicate hook in the rewriter.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "ir/graph.hpp"
+#include "pattern/pattern.hpp"
+
+namespace htvm {
+
+struct MatchResult {
+  NodeId root = kInvalidNode;
+  std::set<NodeId> internal;            // ops + captured constants
+  std::vector<NodeId> external_inputs;  // ordered, deduplicated
+  std::map<std::string, NodeId> bindings;
+
+  const Node& at(const Graph& g, const std::string& label) const;
+};
+
+// Tries to match `pattern` with its root at `root`. Returns true and fills
+// `result` on success. A match is only reported when every internal node
+// except the root is consumed exclusively inside the match (extraction would
+// otherwise duplicate work); `use_counts` is Graph::UseCounts().
+bool MatchAt(const Graph& graph, NodeId root, const PatternPtr& pattern,
+             const std::vector<i32>& use_counts, MatchResult* result);
+
+}  // namespace htvm

@@ -1,0 +1,135 @@
+#include "pattern/rewriter.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace htvm {
+namespace {
+
+struct AcceptedMatch {
+  MatchResult match;
+  const PatternRule* rule = nullptr;
+  AttrMap attrs;
+};
+
+}  // namespace
+
+Graph PartitionGraph(const Graph& graph,
+                     const std::vector<PatternRule>& rules) {
+  std::vector<const PatternRule*> ordered;
+  ordered.reserve(rules.size());
+  for (const auto& r : rules) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const PatternRule* a, const PatternRule* b) {
+                     return a->priority > b->priority;
+                   });
+
+  const std::vector<i32> uses = graph.UseCounts();
+  std::vector<bool> claimed(static_cast<size_t>(graph.NumNodes()), false);
+  // Root id -> accepted match, for the rebuild walk.
+  std::map<NodeId, AcceptedMatch> accepted;
+
+  for (NodeId id = static_cast<NodeId>(graph.NumNodes()) - 1; id >= 0; --id) {
+    if (claimed[static_cast<size_t>(id)]) continue;
+    for (const PatternRule* rule : ordered) {
+      MatchResult m;
+      if (!MatchAt(graph, id, rule->pattern, uses, &m)) continue;
+      const bool overlaps =
+          std::any_of(m.internal.begin(), m.internal.end(), [&](NodeId n) {
+            return claimed[static_cast<size_t>(n)];
+          });
+      if (overlaps) continue;
+      AttrMap attrs;
+      if (rule->predicate && !rule->predicate(graph, m, &attrs)) continue;
+      for (NodeId n : m.internal) claimed[static_cast<size_t>(n)] = true;
+      HTVM_DLOG << "partition: " << rule->composite_name << " rooted at %"
+                << id << " (" << m.internal.size() << " nodes)";
+      accepted.emplace(id, AcceptedMatch{std::move(m), rule, std::move(attrs)});
+      break;
+    }
+  }
+
+  // Rebuild with composites in place of matched regions.
+  Graph out;
+  std::vector<NodeId> remap(static_cast<size_t>(graph.NumNodes()),
+                            kInvalidNode);
+  for (const Node& n : graph.nodes()) {
+    const auto acc_it = accepted.find(n.id);
+    if (acc_it == accepted.end()) {
+      if (claimed[static_cast<size_t>(n.id)]) continue;  // absorbed into a body
+      std::vector<NodeId> ins;
+      ins.reserve(n.inputs.size());
+      for (NodeId in : n.inputs) {
+        HTVM_CHECK_MSG(remap[static_cast<size_t>(in)] != kInvalidNode,
+                       "unmatched node consumes absorbed node");
+        ins.push_back(remap[static_cast<size_t>(in)]);
+      }
+      switch (n.kind) {
+        case NodeKind::kInput:
+          remap[static_cast<size_t>(n.id)] = out.AddInput(n.name, n.type);
+          break;
+        case NodeKind::kConstant:
+          remap[static_cast<size_t>(n.id)] = out.AddConstant(n.value, n.name);
+          break;
+        case NodeKind::kOp:
+          remap[static_cast<size_t>(n.id)] =
+              out.AddOp(n.op, std::move(ins), n.attrs, n.name);
+          break;
+        case NodeKind::kComposite:
+          remap[static_cast<size_t>(n.id)] =
+              out.AddComposite(n.op, std::move(ins), n.body, n.attrs);
+          break;
+      }
+      continue;
+    }
+
+    // Build the composite body from the matched region.
+    const AcceptedMatch& acc = acc_it->second;
+    auto body = std::make_shared<Graph>();
+    std::vector<NodeId> body_remap(static_cast<size_t>(graph.NumNodes()),
+                                   kInvalidNode);
+    for (NodeId ext : acc.match.external_inputs) {
+      const Node& e = graph.node(ext);
+      body_remap[static_cast<size_t>(ext)] =
+          body->AddInput(e.name.empty() ? "arg" : e.name, e.type);
+    }
+    for (const Node& inner : graph.nodes()) {  // id order == topological
+      if (!acc.match.internal.count(inner.id)) continue;
+      if (inner.kind == NodeKind::kConstant) {
+        body_remap[static_cast<size_t>(inner.id)] =
+            body->AddConstant(inner.value, inner.name);
+        continue;
+      }
+      HTVM_CHECK(inner.kind == NodeKind::kOp);
+      std::vector<NodeId> ins;
+      ins.reserve(inner.inputs.size());
+      for (NodeId in : inner.inputs) {
+        HTVM_CHECK(body_remap[static_cast<size_t>(in)] != kInvalidNode);
+        ins.push_back(body_remap[static_cast<size_t>(in)]);
+      }
+      body_remap[static_cast<size_t>(inner.id)] =
+          body->AddOp(inner.op, std::move(ins), inner.attrs, inner.name);
+    }
+    body->SetOutputs({body_remap[static_cast<size_t>(acc.match.root)]});
+
+    std::vector<NodeId> comp_inputs;
+    comp_inputs.reserve(acc.match.external_inputs.size());
+    for (NodeId ext : acc.match.external_inputs) {
+      HTVM_CHECK(remap[static_cast<size_t>(ext)] != kInvalidNode);
+      comp_inputs.push_back(remap[static_cast<size_t>(ext)]);
+    }
+    remap[static_cast<size_t>(n.id)] = out.AddComposite(
+        acc.rule->composite_name, std::move(comp_inputs), body, acc.attrs);
+  }
+
+  std::vector<NodeId> outputs;
+  for (NodeId id : graph.outputs()) {
+    HTVM_CHECK(remap[static_cast<size_t>(id)] != kInvalidNode);
+    outputs.push_back(remap[static_cast<size_t>(id)]);
+  }
+  out.SetOutputs(std::move(outputs));
+  return out;
+}
+
+}  // namespace htvm

@@ -1,0 +1,33 @@
+// BYOC partitioning rewriter: collapses accepted pattern matches into
+// composite nodes carrying dispatch attributes.
+//
+// This is the graph-surgery half of the paper's accelerator-aware
+// dispatching (Sec. III-A); the decision half (the predicate) lives with the
+// accelerator specs in compiler/accel_spec.
+#pragma once
+
+#include <functional>
+
+#include "pattern/matcher.hpp"
+
+namespace htvm {
+
+// Inspects a structural match and decides whether to accept it. On accept,
+// fills `attrs` with at least the "target" attribute. Returning false sends
+// the ops down the native TVM (CPU) path.
+using MatchPredicate = std::function<bool(
+    const Graph& graph, const MatchResult& match, AttrMap* attrs)>;
+
+struct PatternRule {
+  std::string composite_name;  // e.g. "diana.conv2d"
+  PatternPtr pattern;
+  MatchPredicate predicate;    // nullptr accepts unconditionally (CPU tests)
+  int priority = 0;            // higher tried first at a given root
+};
+
+// Scans nodes from the end of the graph (largest roots first thanks to
+// topological order), greedily accepting non-overlapping matches, and
+// rebuilds the graph with composite nodes in place of matched regions.
+Graph PartitionGraph(const Graph& graph, const std::vector<PatternRule>& rules);
+
+}  // namespace htvm

@@ -1,0 +1,48 @@
+#include "pattern/std_patterns.hpp"
+
+namespace htvm {
+namespace {
+
+// bias_add -> right_shift -> clip -> cast{int8} [-> clip] on top of anchor.
+PatternPtr RequantEpilogue(PatternPtr anchor) {
+  auto bias = IsOp("nn.bias_add", {std::move(anchor), IsConstant()});
+  auto shift = IsOp("right_shift", {std::move(bias), IsConstant()});
+  auto clip = IsOp("clip", {std::move(shift)});
+  auto cast = Labeled(
+      HasAttr(IsOp("cast", {std::move(clip)}), "dtype", std::string("int8")),
+      "cast");
+  return Labeled(Optional(std::move(cast), "clip"), "act");
+}
+
+// Requant without bias (residual adds carry no bias constant).
+PatternPtr RequantEpilogueNoBias(PatternPtr anchor) {
+  auto shift = IsOp("right_shift", {std::move(anchor), IsConstant()});
+  auto clip = IsOp("clip", {std::move(shift)});
+  auto cast = Labeled(
+      HasAttr(IsOp("cast", {std::move(clip)}), "dtype", std::string("int8")),
+      "cast");
+  return Labeled(Optional(std::move(cast), "clip"), "act");
+}
+
+}  // namespace
+
+PatternPtr ConvChainPattern() {
+  auto conv = Labeled(
+      IsOp("nn.conv2d", {Wildcard(), Labeled(IsConstant(), "weight")}),
+      "anchor");
+  return RequantEpilogue(std::move(conv));
+}
+
+PatternPtr DenseChainPattern() {
+  auto dense = Labeled(
+      IsOp("nn.dense", {Wildcard(), Labeled(IsConstant(), "weight")}),
+      "anchor");
+  return RequantEpilogue(std::move(dense));
+}
+
+PatternPtr AddChainPattern() {
+  auto add = Labeled(IsOp("add", {Wildcard(), Wildcard()}), "anchor");
+  return RequantEpilogueNoBias(std::move(add));
+}
+
+}  // namespace htvm

@@ -1,0 +1,24 @@
+// Standard fusable op-chain patterns of the quantized deployment flow.
+//
+// ConvChainPattern() is the reproduction of the paper's Listing 1:
+//
+//   conv2d -> bias_add -> right_shift(const) -> clip -> cast{int8}
+//          [-> clip]    (optional activation)
+//
+// The same chains drive both accelerator dispatch (with accelerator-aware
+// predicates) and TVM-native CPU kernel fusion (unconditionally).
+//
+// Labels bound by every chain: "anchor" (the accumulating op), "weight"
+// (its weight constant, conv/dense only), "cast", and "act" when the
+// optional activation clip is present.
+#pragma once
+
+#include "pattern/pattern.hpp"
+
+namespace htvm {
+
+PatternPtr ConvChainPattern();   // covers depthwise via the groups attr
+PatternPtr DenseChainPattern();
+PatternPtr AddChainPattern();    // residual add + requant
+
+}  // namespace htvm

@@ -1,0 +1,62 @@
+#include "runtime/energy.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace htvm::runtime {
+
+double EnergyReport::TopsPerWatt(i64 total_macs, double freq_mhz) const {
+  if (total_pj <= 0.0) return 0.0;
+  // 2 ops per MAC; energy in pJ -> ops/pJ == TOPS/W.
+  (void)freq_mhz;
+  return 2.0 * static_cast<double>(total_macs) / total_pj;
+}
+
+std::string EnergyReport::ToString() const {
+  return StrFormat(
+      "energy %.2f uJ (cpu %.2f, digital %.2f, analog %.2f, dma %.2f, idle "
+      "%.2f)",
+      TotalUj(), cpu_pj * 1e-6, digital_pj * 1e-6, analog_pj * 1e-6,
+      dma_pj * 1e-6, idle_pj * 1e-6);
+}
+
+EnergyReport EstimateEnergy(const compiler::Artifact& artifact,
+                            const EnergyConfig& cfg) {
+  EnergyReport report;
+  for (const auto& kernel : artifact.kernels) {
+    const auto& p = kernel.perf;
+    KernelEnergy e;
+    e.name = kernel.name;
+    e.target = kernel.target;
+    double pj = 0.0;
+    if (kernel.target == "cpu") {
+      pj += static_cast<double>(p.full_cycles) * cfg.cpu_pj_per_cycle;
+      report.cpu_pj += static_cast<double>(p.full_cycles) * cfg.cpu_pj_per_cycle;
+    } else {
+      const double accel_rate = kernel.target == "digital"
+                                    ? cfg.digital_pj_per_cycle
+                                    : cfg.analog_pj_per_cycle;
+      const double busy =
+          static_cast<double>(p.compute_cycles + p.weight_dma_cycles);
+      const double dma = static_cast<double>(p.act_dma_cycles);
+      const double host = static_cast<double>(p.overhead_cycles);
+      const double idle =
+          std::max(0.0, static_cast<double>(p.full_cycles) - host);
+      pj += busy * accel_rate + dma * cfg.dma_pj_per_cycle +
+            host * cfg.cpu_pj_per_cycle + idle * cfg.idle_pj_per_cycle;
+      if (kernel.target == "digital") {
+        report.digital_pj += busy * accel_rate;
+      } else {
+        report.analog_pj += busy * accel_rate;
+      }
+      report.dma_pj += dma * cfg.dma_pj_per_cycle;
+      report.cpu_pj += host * cfg.cpu_pj_per_cycle;
+      report.idle_pj += idle * cfg.idle_pj_per_cycle;
+    }
+    e.pj = pj;
+    report.total_pj += pj;
+    report.kernels.push_back(std::move(e));
+  }
+  return report;
+}
+
+}  // namespace htvm::runtime

@@ -1,0 +1,41 @@
+// HTVM runtime: executes a compiled artifact on the DIANA simulator.
+//
+// Functionally the executor interprets each kernel's fused body (bit-exact
+// int8 semantics); with `simulate_tiles` it instead drives accelerator
+// kernels through their DORY tile schedule (gather/compute/accumulate/
+// scatter) — slower, but proves the deployed schedule computes the same
+// bytes. Timing is the artifact's static cost model: DIANA kernels are
+// data-independent, so cycle counts are decided at compile time, exactly
+// like reading the paper's hardware performance counters after a run.
+#pragma once
+
+#include "compiler/artifact.hpp"
+#include "tensor/tensor.hpp"
+
+namespace htvm::runtime {
+
+struct ExecutorOptions {
+  bool simulate_tiles = false;  // drive accel kernels tile by tile
+  bool enforce_memory = true;   // fail like the board when L2 overflows
+};
+
+struct ExecutionResult {
+  std::vector<Tensor> outputs;
+  hw::RunProfile profile;
+  i64 total_cycles = 0;
+  double latency_ms = 0.0;
+};
+
+class Executor {
+ public:
+  explicit Executor(const compiler::Artifact* artifact,
+                    ExecutorOptions options = {});
+
+  Result<ExecutionResult> Run(std::span<const Tensor> inputs) const;
+
+ private:
+  const compiler::Artifact* artifact_;  // non-owning; outlives the executor
+  ExecutorOptions options_;
+};
+
+}  // namespace htvm::runtime

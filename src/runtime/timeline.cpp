@@ -1,0 +1,64 @@
+#include "runtime/timeline.hpp"
+
+#include <algorithm>
+
+#include "support/string_utils.hpp"
+
+namespace htvm::runtime {
+
+Timeline BuildTimeline(const compiler::Artifact& artifact) {
+  Timeline tl;
+  i64 now = 0;
+  for (const auto& kernel : artifact.kernels) {
+    TimelineEntry e;
+    e.kernel = kernel.name;
+    e.target = kernel.target;
+    e.start_cycle = now;
+    e.end_cycle = now + kernel.perf.full_cycles;
+    e.weight_dma_cycles = kernel.perf.weight_dma_cycles;
+    e.compute_cycles = kernel.perf.compute_cycles;
+    e.act_dma_cycles = kernel.perf.act_dma_cycles;
+    e.overhead_cycles = kernel.perf.overhead_cycles;
+    now = e.end_cycle;
+    tl.entries.push_back(std::move(e));
+  }
+  tl.total_cycles = now;
+  return tl;
+}
+
+std::string Timeline::Render(int width) const {
+  if (total_cycles <= 0 || entries.empty()) return "(empty timeline)\n";
+  const char* lanes[] = {"cpu", "digital", "analog"};
+  const char marks[] = {'c', 'D', 'A'};
+  std::string out;
+  out += StrFormat("timeline: %lld cycles total\n",
+                   static_cast<long long>(total_cycles));
+  for (int lane = 0; lane < 3; ++lane) {
+    std::string bar(static_cast<size_t>(width), '.');
+    for (const auto& e : entries) {
+      if (e.target != lanes[lane]) continue;
+      i64 a = e.start_cycle * width / total_cycles;
+      i64 b = e.end_cycle * width / total_cycles;
+      if (b == a) b = a + 1;
+      for (i64 i = a; i < b && i < width; ++i) {
+        bar[static_cast<size_t>(i)] = marks[lane];
+      }
+    }
+    out += StrFormat("%-8s |%s|\n", lanes[lane], bar.c_str());
+  }
+  out += "kernels:\n";
+  for (const auto& e : entries) {
+    out += StrFormat(
+        "  [%10lld, %10lld) %-8s %-24s wdma=%lld comp=%lld adma=%lld "
+        "ovh=%lld\n",
+        static_cast<long long>(e.start_cycle),
+        static_cast<long long>(e.end_cycle), e.target.c_str(),
+        e.kernel.c_str(), static_cast<long long>(e.weight_dma_cycles),
+        static_cast<long long>(e.compute_cycles),
+        static_cast<long long>(e.act_dma_cycles),
+        static_cast<long long>(e.overhead_cycles));
+  }
+  return out;
+}
+
+}  // namespace htvm::runtime

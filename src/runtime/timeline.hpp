@@ -1,0 +1,38 @@
+// Execution timeline — the Fig. 2 "time diagram of a neural network
+// deployed with HTVM": for each kernel, when it starts/ends on which
+// engine, with the weight-load / compute / DMA phases of accelerator
+// kernels broken out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/artifact.hpp"
+
+namespace htvm::runtime {
+
+struct TimelineEntry {
+  std::string kernel;
+  std::string target;      // cpu | digital | analog
+  i64 start_cycle = 0;
+  i64 end_cycle = 0;
+  // Phase breakdown (accelerator kernels).
+  i64 weight_dma_cycles = 0;
+  i64 compute_cycles = 0;
+  i64 act_dma_cycles = 0;
+  i64 overhead_cycles = 0;
+};
+
+struct Timeline {
+  std::vector<TimelineEntry> entries;
+  i64 total_cycles = 0;
+
+  // ASCII rendering: one lane per engine, proportional bars.
+  std::string Render(int width = 80) const;
+};
+
+// Builds the timeline from the artifact's static schedule (execution is
+// sequential on DIANA — Fig. 2: the host dispatches one kernel at a time).
+Timeline BuildTimeline(const compiler::Artifact& artifact);
+
+}  // namespace htvm::runtime

@@ -1,0 +1,46 @@
+#include "runtime/verify.hpp"
+
+#include <cstdlib>
+
+#include "nn/interpreter.hpp"
+
+namespace htvm::runtime {
+
+Result<VerifyReport> VerifyArtifact(const compiler::Artifact& artifact,
+                                    const Graph& original_network,
+                                    std::span<const Tensor> inputs,
+                                    bool simulate_tiles) {
+  ExecutorOptions options;
+  options.simulate_tiles = simulate_tiles;
+  options.enforce_memory = false;  // verification is host-side
+  Executor executor(&artifact, options);
+  HTVM_ASSIGN_OR_RETURN(deployed, executor.Run(inputs));
+  HTVM_ASSIGN_OR_RETURN(reference, nn::RunGraph(original_network, inputs));
+
+  if (deployed.outputs.size() != reference.size()) {
+    return Status::Internal("output count mismatch");
+  }
+  VerifyReport report;
+  report.ran = true;
+  report.bit_exact = true;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const Tensor& a = deployed.outputs[i];
+    const Tensor& b = reference[i];
+    if (!(a.shape() == b.shape()) || a.dtype() != b.dtype()) {
+      return Status::Internal("output type mismatch");
+    }
+    const i64 n = a.NumElements();
+    report.total_elements += n;
+    for (i64 j = 0; j < n; ++j) {
+      const i64 diff = std::llabs(a.GetFlat(j) - b.GetFlat(j));
+      if (diff != 0) {
+        ++report.mismatched_elements;
+        report.bit_exact = false;
+        report.max_abs_diff = std::max(report.max_abs_diff, diff);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace htvm::runtime

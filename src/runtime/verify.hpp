@@ -1,0 +1,31 @@
+// Deployment verification: compare artifact execution against the pure
+// reference interpretation of the original network graph.
+//
+// Digital/CPU deployments must be bit-exact. Analog deployments are allowed
+// to differ (the IMC front-end clamps activations to 7 bits — modelling the
+// approximate analog compute domain that motivates the paper's mixed
+// dispatch policy); VerifyArtifact reports the mismatch statistics instead
+// of failing in that case.
+#pragma once
+
+#include "compiler/artifact.hpp"
+#include "runtime/executor.hpp"
+
+namespace htvm::runtime {
+
+struct VerifyReport {
+  bool ran = false;
+  bool bit_exact = false;
+  i64 mismatched_elements = 0;
+  i64 total_elements = 0;
+  i64 max_abs_diff = 0;
+};
+
+// Runs both the artifact (optionally with tile-level simulation) and the
+// reference interpreter on the same inputs and compares outputs.
+Result<VerifyReport> VerifyArtifact(const compiler::Artifact& artifact,
+                                    const Graph& original_network,
+                                    std::span<const Tensor> inputs,
+                                    bool simulate_tiles = false);
+
+}  // namespace htvm::runtime

@@ -1,0 +1,14 @@
+#include "support/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace htvm::detail {
+
+void FatalError(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "[htvm fatal] %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace htvm::detail

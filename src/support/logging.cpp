@@ -1,0 +1,29 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+
+namespace htvm {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace detail {
+void EmitLog(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[htvm %s] %s\n", LevelTag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace htvm

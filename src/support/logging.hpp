@@ -1,0 +1,51 @@
+// Minimal leveled logger. The compiler pipeline logs partitioning and tiling
+// decisions at kInfo/kDebug; benches run with kWarn to keep harness output
+// parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace htvm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded. Not thread-safe by
+// design: the simulator is single-threaded (it models a single-core host).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+// Accumulates one log line and emits it on destruction (stream-style usage).
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace htvm
+
+#define HTVM_LOG(level)                                        \
+  if (::htvm::LogLevel::level >= ::htvm::GetLogLevel())        \
+  ::htvm::detail::LogMessage(::htvm::LogLevel::level)
+
+#define HTVM_DLOG HTVM_LOG(kDebug)
+#define HTVM_ILOG HTVM_LOG(kInfo)
+#define HTVM_WLOG HTVM_LOG(kWarn)
+#define HTVM_ELOG HTVM_LOG(kError)

@@ -1,0 +1,35 @@
+#include "support/math_utils.hpp"
+
+#include <algorithm>
+
+namespace htvm {
+
+std::vector<i64> Divisors(i64 n) {
+  std::vector<i64> out;
+  for (i64 d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+      if (d != n / d) out.push_back(n / d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<i64> TileCandidates(i64 n, i64 step) {
+  if (n <= 0) return {};
+  std::vector<i64> out;
+  if (n <= 64) {
+    out.resize(static_cast<size_t>(n));
+    for (i64 i = 1; i <= n; ++i) out[static_cast<size_t>(i - 1)] = i;
+    return out;
+  }
+  out = Divisors(n);
+  for (i64 v = step; v < n; v += step) out.push_back(v);
+  out.push_back(n);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace htvm

@@ -1,0 +1,53 @@
+#include "support/rng.hpp"
+
+namespace htvm {
+namespace {
+
+constexpr u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands a single seed into the xoshiro state.
+u64 SplitMix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (auto& w : state_) w = SplitMix64(s);
+}
+
+u64 Rng::NextU64() {
+  const u64 result = Rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+i64 Rng::UniformInt(i64 lo, i64 hi) {
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(NextU64() % span);
+}
+
+i8 Rng::UniformInt8(i8 lo, i8 hi) {
+  return static_cast<i8>(UniformInt(lo, hi));
+}
+
+i8 Rng::Ternary() {
+  return static_cast<i8>(UniformInt(-1, 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace htvm

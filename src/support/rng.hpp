@@ -1,0 +1,36 @@
+// Deterministic RNG used to synthesize model weights and test inputs.
+//
+// Weight *values* do not affect latency or binary size (the quantities the
+// paper reports), but functional bit-exactness between CPU reference and
+// accelerator execution is a core test invariant, so inputs must be
+// reproducible across runs and platforms. xoshiro256** — small, fast, and
+// not dependent on libstdc++'s unspecified distribution implementations.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace htvm {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull);
+
+  u64 NextU64();
+
+  // Uniform in [lo, hi] inclusive.
+  i64 UniformInt(i64 lo, i64 hi);
+
+  // Uniform int8 in [lo, hi]; defaults span the full int8 range.
+  i8 UniformInt8(i8 lo = -128, i8 hi = 127);
+
+  // Ternary value in {-1, 0, +1} with roughly equal mass.
+  i8 Ternary();
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+ private:
+  u64 state_[4];
+};
+
+}  // namespace htvm

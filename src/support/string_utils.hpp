@@ -1,0 +1,27 @@
+// String helpers for diagnostics, the IR printer and bench tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace htvm {
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins items with `sep`, e.g. Join({"1","2"}, "x") == "1x2".
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+// Renders a vector of integers as "[a, b, c]" — shapes in diagnostics.
+std::string IntVecToString(const std::vector<i64>& values);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+// Human-readable byte count: "256.0 kB", "1.5 MB".
+std::string HumanBytes(i64 bytes);
+
+}  // namespace htvm

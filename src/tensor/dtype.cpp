@@ -1,0 +1,49 @@
+#include "tensor/dtype.hpp"
+
+#include "support/common.hpp"
+
+namespace htvm {
+
+i64 DTypeSizeBytes(DType t) {
+  switch (t) {
+    case DType::kInt8: return 1;
+    case DType::kInt16: return 2;
+    case DType::kInt32: return 4;
+    case DType::kFloat32: return 4;
+    case DType::kTernary: return 1;  // unpacked simulation representation
+  }
+  HTVM_UNREACHABLE("bad dtype");
+}
+
+i64 DTypeStorageBits(DType t) {
+  switch (t) {
+    case DType::kInt8: return 8;
+    case DType::kInt16: return 16;
+    case DType::kInt32: return 32;
+    case DType::kFloat32: return 32;
+    case DType::kTernary: return 2;
+  }
+  HTVM_UNREACHABLE("bad dtype");
+}
+
+const char* DTypeName(DType t) {
+  switch (t) {
+    case DType::kInt8: return "int8";
+    case DType::kInt16: return "int16";
+    case DType::kInt32: return "int32";
+    case DType::kFloat32: return "float32";
+    case DType::kTernary: return "ternary";
+  }
+  HTVM_UNREACHABLE("bad dtype");
+}
+
+bool ParseDType(const std::string& name, DType* out) {
+  if (name == "int8") { *out = DType::kInt8; return true; }
+  if (name == "int16") { *out = DType::kInt16; return true; }
+  if (name == "int32") { *out = DType::kInt32; return true; }
+  if (name == "float32") { *out = DType::kFloat32; return true; }
+  if (name == "ternary") { *out = DType::kTernary; return true; }
+  return false;
+}
+
+}  // namespace htvm

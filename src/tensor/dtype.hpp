@@ -1,0 +1,46 @@
+// Element datatypes of the quantized deployment flow.
+//
+// DIANA's compute domains (Sec. III-C of the paper):
+//   - digital accelerator: int8 activations & weights, int32 accumulators
+//   - analog IMC accelerator: 7-bit inputs, *ternary* weights {-1, 0, +1}
+//   - CPU fallback kernels: int8 with int32 accumulation
+//
+// kTernary is a first-class dtype: logically each element is an int8 in
+// {-1,0,+1}; its *storage* footprint differs (2 bits packed, plus IMC macro
+// padding) which the binary-size model accounts for separately.
+#pragma once
+
+#include <string>
+
+#include "support/common.hpp"
+
+namespace htvm {
+
+enum class DType : u8 {
+  kInt8 = 0,
+  kInt16,
+  kInt32,
+  kFloat32,
+  kTernary,  // values in {-1, 0, +1}; unpacked in-memory as int8
+};
+
+// In-memory (simulator) size of one element in bytes. Ternary is held
+// unpacked as int8 in simulation; packed size is a storage-model concern
+// (see dory/weight_layout.hpp).
+i64 DTypeSizeBytes(DType t);
+
+// Bits per element in *deployed* storage: 8/16/32 for integers, 2 for
+// ternary (before IMC padding).
+i64 DTypeStorageBits(DType t);
+
+const char* DTypeName(DType t);
+
+// Parses "int8", "int32", "ternary", ... Returns false on unknown names.
+bool ParseDType(const std::string& name, DType* out);
+
+inline bool IsIntegral(DType t) {
+  return t == DType::kInt8 || t == DType::kInt16 || t == DType::kInt32 ||
+         t == DType::kTernary;
+}
+
+}  // namespace htvm

@@ -1,0 +1,56 @@
+// Quantization utilities.
+//
+// The flow ingests already-quantized graphs (as in the paper), so these
+// helpers implement the *re-quantization* semantics that appear inside the
+// graph — the BiasAdd -> right_shift -> clip -> cast(int8) chain of
+// Listing 1 — plus ternary packing used by the analog weight storage model.
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+#include "tensor/tensor.hpp"
+
+namespace htvm {
+
+// Parameters of the requantization chain after an accumulating op. DORY and
+// the accelerators implement exactly this: shift right (rounding), optional
+// ReLU, saturate to int8. Real quantized models use per-output-channel
+// scales; when `channel_shifts` is non-empty it overrides `shift` per
+// channel (dim 1 of an NCHW tensor / the feature dim of an FC output).
+struct RequantParams {
+  i64 shift = 0;       // arithmetic right shift amount (uniform)
+  bool relu = false;   // clamp lower bound at 0 instead of -128
+  std::vector<i64> channel_shifts;  // optional per-channel shifts
+
+  bool per_channel() const { return !channel_shifts.empty(); }
+  i64 ShiftFor(i64 channel) const {
+    return per_channel() ? channel_shifts[static_cast<size_t>(channel)]
+                         : shift;
+  }
+};
+
+// Applies requantization to one int32 accumulator value (uniform shift).
+i8 RequantizeValue(i64 acc, const RequantParams& p);
+
+// Per-channel variant: `channel` selects the shift.
+i8 RequantizeValueAt(i64 acc, const RequantParams& p, i64 channel);
+
+// Elementwise requantization of an int32 tensor into int8; rank-4 tensors
+// apply channel_shifts along dim 1, rank-2 along dim 1.
+Tensor RequantizeTensor(const Tensor& acc, const RequantParams& p);
+
+// Clamp an int8 activation tensor to 7-bit range [-64, 63] — the analog
+// array ingests 7-bit inputs; HTVM inserts this narrowing before analog
+// layers so the functional model matches what the IMC hardware computes.
+Tensor ClampTo7Bit(const Tensor& t);
+
+// Packs a ternary tensor (values in {-1,0,+1}) at 2 bits/element into bytes
+// (4 elements per byte, little-endian within the byte). Returns packed size
+// in bytes; used by the binary-size model and verified by unpacking tests.
+std::vector<u8> PackTernary(const Tensor& t);
+
+// Inverse of PackTernary; `count` is the element count to recover.
+Tensor UnpackTernary(const std::vector<u8>& packed, const Shape& shape);
+
+}  // namespace htvm

@@ -1,0 +1,39 @@
+#include "tensor/shape.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace htvm {
+
+i64 Shape::operator[](i64 i) const {
+  HTVM_CHECK(i >= 0 && i < rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+i64& Shape::operator[](i64 i) {
+  HTVM_CHECK(i >= 0 && i < rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+i64 Shape::NumElements() const {
+  i64 n = 1;
+  for (i64 d : dims_) {
+    HTVM_CHECK_MSG(d >= 0, "negative dimension");
+    HTVM_CHECK_MSG(d == 0 || n <= (i64{1} << 56) / (d == 0 ? 1 : d),
+                   "shape element count overflow");
+    n *= d;
+  }
+  return n;
+}
+
+std::string Shape::ToString() const { return IntVecToString(dims_); }
+
+std::vector<i64> RowMajorStrides(const Shape& shape) {
+  std::vector<i64> strides(static_cast<size_t>(shape.rank()), 1);
+  for (i64 i = shape.rank() - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i + 1)] * shape[i + 1];
+  }
+  return strides;
+}
+
+}  // namespace htvm

@@ -1,0 +1,44 @@
+// Tensor shapes and the data layouts relevant to DIANA.
+//
+// Activations flow through the graph in NCHW. DIANA's digital accelerator
+// stores and processes activations in C-y-x order (channel-major), which is
+// the same element order as NCHW with N==1 — the layout distinction matters
+// for the DMA contiguity model (dory/schedule) and the weight layout
+// transform, not for functional indexing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace htvm {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<i64> dims) : dims_(dims) {}
+  explicit Shape(std::vector<i64> dims) : dims_(std::move(dims)) {}
+
+  i64 rank() const { return static_cast<i64>(dims_.size()); }
+  i64 operator[](i64 i) const;
+  i64& operator[](i64 i);
+
+  // Product of all dims (1 for rank-0). Checked against overflow.
+  i64 NumElements() const;
+
+  const std::vector<i64>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<i64> dims_;
+};
+
+// Row-major strides (in elements) for a shape.
+std::vector<i64> RowMajorStrides(const Shape& shape);
+
+}  // namespace htvm

@@ -1,0 +1,221 @@
+#include "tvmgen/c_codegen.hpp"
+
+#include "dory/layer_spec.hpp"
+#include "support/string_utils.hpp"
+
+namespace htvm::tvmgen {
+namespace {
+
+// The single op of a one-op body, or nullptr for fused chains.
+const Node* LoneOp(const Graph& body) {
+  const Node* found = nullptr;
+  for (const Node& n : body.nodes()) {
+    if (n.kind != NodeKind::kOp) continue;
+    if (found != nullptr) return nullptr;
+    found = &n;
+  }
+  return found;
+}
+
+// Per-channel shift table (empty string when the layer is uniform).
+std::string ShiftTable(const dory::AccelLayerSpec& s,
+                       const std::string& fn) {
+  if (!s.requant.per_channel()) return "";
+  std::string out = StrFormat("  static const int32_t %s_sh[%zu] = {",
+                              fn.c_str(), s.requant.channel_shifts.size());
+  for (size_t i = 0; i < s.requant.channel_shifts.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(s.requant.channel_shifts[i]);
+  }
+  out += "};\n";
+  return out;
+}
+
+std::string ShiftExpr(const dory::AccelLayerSpec& s, const std::string& fn,
+                      const char* channel_var) {
+  return s.requant.per_channel() ? fn + "_sh[" + channel_var + "]"
+                                 : std::string("SHIFT");
+}
+
+std::string EmitConvChain(const dory::AccelLayerSpec& s,
+                          const std::string& fn, const std::string& wsym,
+                          const std::string& bsym) {
+  const bool dw = s.kind == dory::LayerKind::kDwConv2d;
+  const i64 groups = dw ? s.c : 1;
+  std::string c;
+  c += StrFormat("// %s: fused %s + requant on the RISC-V core\n", fn.c_str(),
+                 dw ? "depthwise conv2d" : "conv2d");
+  c += StrFormat("void %s(const int8_t* in, int8_t* out) {\n", fn.c_str());
+  c += StrFormat(
+      "  enum { C = %lld, K = %lld, IY = %lld, IX = %lld, OY = %lld, OX = "
+      "%lld,\n",
+      (long long)s.c, (long long)s.k, (long long)s.iy, (long long)s.ix,
+      (long long)s.oy, (long long)s.ox);
+  c += StrFormat(
+      "         KH = %lld, KW = %lld, SY = %lld, SX = %lld, PT = %lld, PL = "
+      "%lld,\n",
+      (long long)s.kh, (long long)s.kw, (long long)s.sy, (long long)s.sx,
+      (long long)s.pad_t, (long long)s.pad_l);
+  c += StrFormat("         G = %lld, SHIFT = %lld, RELU = %d };\n",
+                 (long long)groups, (long long)s.requant.shift,
+                 s.requant.relu ? 1 : 0);
+  c += ShiftTable(s, fn);
+  c += "  for (int k = 0; k < K; ++k) {\n";
+  c += "    const int g = k / (K / G);\n";
+  c += "    for (int oy = 0; oy < OY; ++oy) {\n";
+  c += "      for (int ox = 0; ox < OX; ++ox) {\n";
+  c += StrFormat("        int32_t acc = %s[k];\n", bsym.c_str());
+  c += "        for (int ci = 0; ci < C / G; ++ci) {\n";
+  c += "          const int ic = g * (C / G) + ci;\n";
+  c += "          for (int fy = 0; fy < KH; ++fy) {\n";
+  c += "            const int iy = oy * SY + fy - PT;\n";
+  c += "            if (iy < 0 || iy >= IY) continue;\n";
+  c += "            for (int fx = 0; fx < KW; ++fx) {\n";
+  c += "              const int ix = ox * SX + fx - PL;\n";
+  c += "              if (ix < 0 || ix >= IX) continue;\n";
+  c += "              acc += (int32_t)in[((size_t)ic * IY + iy) * IX + ix] *\n";
+  c += StrFormat(
+      "                     %s[(((size_t)k * (C / G) + ci) * KH + fy) * KW + "
+      "fx];\n",
+      wsym.c_str());
+  c += "            }\n          }\n        }\n";
+  c += StrFormat(
+      "        out[((size_t)k * OY + oy) * OX + ox] = htvm_requant(acc, "
+      "%s, RELU);\n",
+      ShiftExpr(s, fn, "k").c_str());
+  c += "      }\n    }\n  }\n}\n";
+  return c;
+}
+
+std::string EmitDenseChain(const dory::AccelLayerSpec& s,
+                           const std::string& fn, const std::string& wsym,
+                           const std::string& bsym) {
+  std::string c;
+  c += StrFormat("// %s: fused dense + requant on the RISC-V core\n",
+                 fn.c_str());
+  c += StrFormat("void %s(const int8_t* in, int8_t* out) {\n", fn.c_str());
+  c += StrFormat("  enum { I = %lld, O = %lld, SHIFT = %lld, RELU = %d };\n",
+                 (long long)s.c, (long long)s.k, (long long)s.requant.shift,
+                 s.requant.relu ? 1 : 0);
+  c += ShiftTable(s, fn);
+  c += "  for (int k = 0; k < O; ++k) {\n";
+  c += StrFormat("    int32_t acc = %s[k];\n", bsym.c_str());
+  c += "    for (int i = 0; i < I; ++i) {\n";
+  c += StrFormat("      acc += (int32_t)in[i] * %s[(size_t)k * I + i];\n",
+                 wsym.c_str());
+  c += "    }\n";
+  c += StrFormat("    out[k] = htvm_requant(acc, %s, RELU);\n",
+                 ShiftExpr(s, fn, "k").c_str());
+  c += "  }\n}\n";
+  return c;
+}
+
+std::string EmitAddChain(const dory::AccelLayerSpec& s,
+                         const std::string& fn) {
+  std::string c;
+  c += StrFormat("// %s: fused residual add + requant on the RISC-V core\n",
+                 fn.c_str());
+  c += StrFormat(
+      "void %s(const int8_t* a, const int8_t* b, int8_t* out) {\n",
+      fn.c_str());
+  c += StrFormat("  enum { N = %lld, SHIFT = %lld, RELU = %d };\n",
+                 (long long)(s.c * s.oy * s.ox), (long long)s.requant.shift,
+                 s.requant.relu ? 1 : 0);
+  c += "  for (int i = 0; i < N; ++i) {\n";
+  c += "    out[i] = htvm_requant((int32_t)a[i] + (int32_t)b[i], SHIFT, "
+       "RELU);\n";
+  c += "  }\n}\n";
+  return c;
+}
+
+Result<std::string> EmitLoneOp(const Graph& body, const Node& op,
+                               const std::string& fn) {
+  const TensorType& in = body.node(op.inputs[0]).type;
+  const TensorType& out_t = op.type;
+  if (in.dtype != DType::kInt8 || out_t.dtype != DType::kInt8) {
+    return Status::Unsupported("lone op with non-int8 I/O: " + op.op);
+  }
+  std::string c;
+  c += StrFormat("// %s: %s on the RISC-V core\n", fn.c_str(), op.op.c_str());
+  c += StrFormat("void %s(const int8_t* in, int8_t* out) {\n", fn.c_str());
+
+  if (op.op == "nn.avg_pool2d" || op.op == "nn.max_pool2d") {
+    const auto pool = op.attrs.GetIntVec("pool_size", {2, 2});
+    const auto strides = op.attrs.GetIntVec("strides", pool);
+    auto pad = op.attrs.GetIntVec("padding", {0, 0, 0, 0});
+    if (pad.size() == 2) pad = {pad[0], pad[1], pad[0], pad[1]};
+    c += StrFormat(
+        "  htvm_%s_pool2d(in, out, %lld, %lld, %lld, %lld, %lld, %lld, "
+        "%lld, %lld, %lld, %lld, %lld);\n",
+        op.op == "nn.avg_pool2d" ? "avg" : "max", (long long)in.shape[1],
+        (long long)in.shape[2], (long long)in.shape[3], (long long)pool[0],
+        (long long)pool[1], (long long)strides[0], (long long)strides[1],
+        (long long)pad[0], (long long)pad[1], (long long)out_t.shape[2],
+        (long long)out_t.shape[3]);
+  } else if (op.op == "nn.global_avg_pool2d") {
+    c += StrFormat("  htvm_global_avg_pool2d(in, out, %lld, %lld);\n",
+                   (long long)in.shape[1],
+                   (long long)(in.shape[2] * in.shape[3]));
+  } else if (op.op == "nn.softmax") {
+    const i64 cols = in.shape[in.shape.rank() - 1];
+    c += StrFormat("  htvm_softmax_int8(in, out, %lld, %lld);\n",
+                   (long long)(in.shape.NumElements() / cols),
+                   (long long)cols);
+  } else if (op.op == "reshape" || op.op == "nn.flatten") {
+    c += StrFormat("  memcpy(out, in, %lld);\n",
+                   (long long)in.shape.NumElements());
+  } else if (op.op == "nn.relu") {
+    c += StrFormat("  for (int i = 0; i < %lld; ++i) ",
+                   (long long)in.shape.NumElements());
+    c += "out[i] = in[i] < 0 ? 0 : in[i];\n";
+  } else if (op.op == "clip") {
+    c += StrFormat(
+        "  for (int i = 0; i < %lld; ++i) {\n    int v = in[i];\n"
+        "    if (v < %lld) v = %lld;\n    if (v > %lld) v = %lld;\n"
+        "    out[i] = (int8_t)v;\n  }\n",
+        (long long)in.shape.NumElements(),
+        (long long)op.attrs.GetInt("a_min", -128),
+        (long long)op.attrs.GetInt("a_min", -128),
+        (long long)op.attrs.GetInt("a_max", 127),
+        (long long)op.attrs.GetInt("a_max", 127));
+  } else if (op.op == "cast") {
+    c += StrFormat("  memcpy(out, in, %lld);  // int8 -> int8 cast\n",
+                   (long long)in.shape.NumElements());
+  } else {
+    return Status::Unsupported("no CPU C emitter for op " + op.op);
+  }
+  c += "}\n";
+  return c;
+}
+
+}  // namespace
+
+Result<std::string> EmitCpuKernelC(const Node& composite,
+                                   const std::string& fn_name,
+                                   const std::string& weights_sym,
+                                   const std::string& bias_sym) {
+  HTVM_CHECK(composite.kind == NodeKind::kComposite);
+  const Graph& body = *composite.body;
+
+  // Fused chains contain >= 2 ops; a single-op body is a wrapped leftover
+  // (pool / softmax / layout / elementwise) emitted against the runtime
+  // helpers instead.
+  if (const Node* lone = LoneOp(body)) {
+    return EmitLoneOp(body, *lone, fn_name);
+  }
+
+  auto spec = dory::AnalyzeCompositeBody(body);
+  if (!spec.ok()) return spec.status();
+  switch (spec->kind) {
+    case dory::LayerKind::kConv2d:
+    case dory::LayerKind::kDwConv2d:
+      return EmitConvChain(*spec, fn_name, weights_sym, bias_sym);
+    case dory::LayerKind::kDense:
+      return EmitDenseChain(*spec, fn_name, weights_sym, bias_sym);
+    case dory::LayerKind::kAdd:
+      return EmitAddChain(*spec, fn_name);
+  }
+  return Status::Internal("bad chain kind");
+}
+
+}  // namespace htvm::tvmgen

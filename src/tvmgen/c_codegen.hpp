@@ -1,0 +1,27 @@
+// TVM-native C code generation for fused CPU kernels.
+//
+// The ops the dispatcher leaves on the CPU lower to standalone C functions
+// with the fused requant epilogue inlined — the "operator-fused CPU
+// kernels" of Sec. III. Conv/dense emit full loop nests; generic epilogues
+// and pooling/softmax call the helpers in the generated htvm_runtime.h.
+//
+// Calling convention (same as the accelerator kernels):
+//   void <name>(const int8_t* in0 [, const int8_t* in1], int8_t* out);
+// Constants are emitted by the artifact emitter as <name>_w / <name>_b.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+#include "support/status.hpp"
+
+namespace htvm::tvmgen {
+
+// Emits a C function for a cpu composite node. `weights_sym`/`bias_sym`
+// name the constant arrays (may be empty when the kernel has none).
+Result<std::string> EmitCpuKernelC(const Node& composite,
+                                   const std::string& fn_name,
+                                   const std::string& weights_sym,
+                                   const std::string& bias_sym);
+
+}  // namespace htvm::tvmgen

@@ -1,0 +1,27 @@
+// Cycle cost of a fused CPU kernel (composite with target="cpu").
+//
+// TVM fuses the accumulating anchor with its elementwise epilogue; the
+// epilogue then costs per-element post-processing instead of separate
+// kernel launches. Matches the paper's CPU baseline behaviour where fusion
+// is what TVM's "general codegen for creating fused C kernels" provides.
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/perf.hpp"
+#include "ir/graph.hpp"
+
+namespace htvm::tvmgen {
+
+// Full-kernel cycles for a cpu composite node (body = fused op chain).
+// Composites carrying the attr kernel_lib="tuned" (a hand-tuned BYOC
+// library, Sec. V's extension hook) run their accumulating anchor at the
+// tuned-library rate.
+i64 CpuCompositeCycles(const hw::CpuConfig& cfg, const Node& composite);
+
+// Detailed perf record (macs, peak == compute, full adds the runtime
+// dispatch overhead).
+hw::KernelPerf CpuCompositePerf(const hw::DianaConfig& cfg,
+                                const Node& composite,
+                                const std::string& name);
+
+}  // namespace htvm::tvmgen

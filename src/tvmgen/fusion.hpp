@@ -1,0 +1,26 @@
+// TVM-native lowering: operator fusion for the CPU path.
+//
+// Ops the accelerator dispatcher left in the graph follow "TVM's native
+// lowering pipeline, which produces operator-fused CPU kernels instead"
+// (Sec. III). We reuse the partitioning machinery: the standard chains are
+// fused unconditionally into composites with target="cpu", and every
+// remaining lone op becomes its own single-op CPU kernel, so the final
+// graph consists purely of inputs, constants and composites — the linear
+// kernel sequence of Fig. 2.
+#pragma once
+
+#include "ir/graph.hpp"
+
+namespace htvm::tvmgen {
+
+// Fuses remaining op chains into target="cpu" composites.
+Graph FuseCpuOps(const Graph& partitioned);
+
+// Wraps any still-unfused op node into a single-op cpu composite.
+Graph WrapRemainingOps(const Graph& graph);
+
+// Convenience: FuseCpuOps + WrapRemainingOps, with a check that the result
+// contains no bare op nodes.
+Graph LowerToKernels(const Graph& partitioned);
+
+}  // namespace htvm::tvmgen

@@ -1,0 +1,83 @@
+// Tests for the third BYOC target (hand-tuned CPU kernel library) — the
+// extensibility hook the paper's conclusion describes.
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "models/layer_zoo.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "runtime/verify.hpp"
+
+namespace htvm::compiler {
+namespace {
+
+TEST(ByocExtension, TunedLibraryTakesChainsWhenEnabled) {
+  models::ConvLayerParams p;
+  auto art = HtvmCompiler{CompileOptions::TunedCpuOnly()}.Compile(
+      models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok());
+  ASSERT_EQ(art->kernels.size(), 1u);
+  EXPECT_EQ(art->kernels[0].target, "cpu");
+  const Node& comp = art->kernel_graph.node(art->kernels[0].node);
+  EXPECT_EQ(comp.op, "pulpnn.conv2d");
+  EXPECT_EQ(comp.attrs.GetString("kernel_lib"), "tuned");
+}
+
+TEST(ByocExtension, AcceleratorsStillWinOverTunedLibrary) {
+  models::ConvLayerParams p;
+  CompileOptions opt;  // all targets on
+  opt.dispatch.enable_tuned_cpu_library = true;
+  auto art = HtvmCompiler{opt}.Compile(models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok());
+  EXPECT_EQ(art->kernels[0].target, "digital");  // priority ordering
+}
+
+TEST(ByocExtension, TunedLibraryFasterThanPlainTvm) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto plain = HtvmCompiler{CompileOptions::PlainTvm()}.Compile(net);
+  auto tuned = HtvmCompiler{CompileOptions::TunedCpuOnly()}.Compile(net);
+  ASSERT_TRUE(plain.ok() && tuned.ok());
+  const double speedup = static_cast<double>(plain->TotalFullCycles()) /
+                         static_cast<double>(tuned->TotalFullCycles());
+  // Table II shape: CMSIS-NN-class libraries buy ~1.1-1.45x, far from the
+  // accelerator's 100x.
+  EXPECT_GT(speedup, 1.1);
+  EXPECT_LT(speedup, 2.0);
+}
+
+TEST(ByocExtension, TunedLibraryGrowsCode) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto plain = HtvmCompiler{CompileOptions::PlainTvm()}.Compile(net);
+  auto tuned = HtvmCompiler{CompileOptions::TunedCpuOnly()}.Compile(net);
+  ASSERT_TRUE(plain.ok() && tuned.ok());
+  EXPECT_GT(tuned->size.code_bytes, plain->size.code_bytes);
+}
+
+TEST(ByocExtension, TunedLibraryIsBitExact) {
+  models::ConvLayerParams p;
+  p.c = 8;
+  p.k = 8;
+  p.iy = p.ix = 12;
+  Graph net = models::MakeConvLayerGraph(p);
+  auto art = HtvmCompiler{CompileOptions::TunedCpuOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  Rng rng(5);
+  const Tensor input = Tensor::Random(Shape{1, 8, 12, 12}, DType::kInt8, rng);
+  auto report = runtime::VerifyArtifact(*art, net, std::vector<Tensor>{input});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->bit_exact);
+}
+
+TEST(ByocExtension, TernaryStaysOffTheTunedLibrary) {
+  models::ConvLayerParams p;
+  p.weight_dtype = DType::kTernary;
+  auto art = HtvmCompiler{CompileOptions::TunedCpuOnly()}.Compile(
+      models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok());
+  for (const auto& k : art->kernels) {
+    const Node& comp = art->kernel_graph.node(k.node);
+    EXPECT_NE(comp.attrs.GetString("kernel_lib"), "tuned");
+  }
+}
+
+}  // namespace
+}  // namespace htvm::compiler

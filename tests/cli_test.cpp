@@ -1,0 +1,101 @@
+// End-to-end tests of the htvmc CLI binary (invoked as a subprocess; ctest
+// runs tests from build/tests, so the tool sits at ../tools/htvmc).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "ir/builder.hpp"
+#include "ir/serialize.hpp"
+
+namespace htvm {
+namespace {
+
+const char* kTool = "../tools/htvmc";
+
+bool ToolExists() {
+  std::ifstream f(kTool);
+  return f.good();
+}
+
+int RunTool(const std::string& args, std::string* out_path = nullptr) {
+  const std::string capture = ::testing::TempDir() + "/htvmc_out.txt";
+  if (out_path != nullptr) *out_path = capture;
+  const std::string cmd =
+      std::string(kTool) + " " + args + " > " + capture + " 2>&1";
+  return std::system(cmd.c_str());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Cli, HelpSucceeds) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_EQ(RunTool("--help", &out), 0);
+  EXPECT_NE(ReadAll(out).find("--config"), std::string::npos);
+}
+
+TEST(Cli, NoInputFails) {
+  if (!ToolExists()) GTEST_SKIP();
+  EXPECT_NE(RunTool("--config mixed"), 0);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  if (!ToolExists()) GTEST_SKIP();
+  EXPECT_NE(RunTool("--model resnet --frobnicate"), 0);
+}
+
+TEST(Cli, CompilesBuiltinModelWithReport) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  ASSERT_EQ(RunTool("--model resnet --config mixed --report --energy", &out), 0);
+  const std::string text = ReadAll(out);
+  EXPECT_NE(text.find("kernels"), std::string::npos);
+  EXPECT_NE(text.find("diana.conv2d"), std::string::npos);
+  EXPECT_NE(text.find("TOPS/W"), std::string::npos);
+  EXPECT_NE(text.find("analog"), std::string::npos);
+}
+
+TEST(Cli, CompilesSerializedGraph) {
+  if (!ToolExists()) GTEST_SKIP();
+  GraphBuilder b(3);
+  NodeId x = b.Input("x", Shape{1, 8, 16, 16});
+  ConvSpec spec;
+  spec.out_channels = 16;
+  spec = WithSamePadding(spec, 16, 16);
+  Graph g = b.Finish(b.ConvBlock(x, spec, "c"));
+  const std::string path = ::testing::TempDir() + "/cli_net.htvm";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  std::string out;
+  ASSERT_EQ(RunTool("--graph " + path + " --config digital --report", &out), 0);
+  EXPECT_NE(ReadAll(out).find("digital"), std::string::npos);
+}
+
+TEST(Cli, EmitsCompilableSources) {
+  if (!ToolExists()) GTEST_SKIP();
+  const std::string dir = ::testing::TempDir() + "/cli_emit";
+  ASSERT_EQ(RunTool("--model toyadmos --config digital --emit-dir " + dir), 0);
+  std::ifstream f(dir + "/toyadmos.c");
+  EXPECT_TRUE(f.good());
+}
+
+TEST(Cli, L1OverrideChangesTiling) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string big_out, small_out;
+  ASSERT_EQ(RunTool("--model resnet --config digital --report", &big_out), 0);
+  const std::string big = ReadAll(big_out);
+  ASSERT_EQ(RunTool("--model resnet --config digital --l1 4 --report",
+                &small_out),
+            0);
+  const std::string small = ReadAll(small_out);
+  EXPECT_NE(big, small);  // tighter L1 -> different tile counts/latency
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "models/layer_zoo.hpp"
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm::compiler {
+namespace {
+
+std::map<std::string, i64> KernelTargets(const Artifact& a) {
+  std::map<std::string, i64> counts;
+  for (const auto& k : a.kernels) ++counts[k.target];
+  return counts;
+}
+
+TEST(Pipeline, SingleConvDigital) {
+  models::ConvLayerParams p;
+  p.c = 16;
+  p.k = 16;
+  HtvmCompiler compiler{CompileOptions{}};
+  auto art = compiler.Compile(models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok()) << art.status().ToString();
+  ASSERT_EQ(art->kernels.size(), 1u);
+  EXPECT_EQ(art->kernels[0].target, "digital");
+  EXPECT_TRUE(art->kernels[0].schedule.has_value());
+  EXPECT_GT(art->kernels[0].perf.peak_cycles, 0);
+  EXPECT_GT(art->kernels[0].perf.full_cycles,
+            art->kernels[0].perf.peak_cycles);
+}
+
+TEST(Pipeline, SingleConvPlainTvmStaysOnCpu) {
+  models::ConvLayerParams p;
+  HtvmCompiler compiler{CompileOptions::PlainTvm()};
+  auto art = compiler.Compile(models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok());
+  ASSERT_EQ(art->kernels.size(), 1u);
+  EXPECT_EQ(art->kernels[0].target, "cpu");
+  EXPECT_FALSE(art->kernels[0].schedule.has_value());
+}
+
+TEST(Pipeline, TernaryConvGoesAnalogAndGetsClamped) {
+  models::ConvLayerParams p;
+  p.weight_dtype = DType::kTernary;
+  HtvmCompiler compiler{CompileOptions{}};
+  auto art = compiler.Compile(models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok());
+  ASSERT_EQ(art->kernels.size(), 1u);
+  EXPECT_EQ(art->kernels[0].target, "analog");
+  // The body's first op after the input must be the 7-bit clamp.
+  const Node& comp = art->kernel_graph.node(art->kernels[0].node);
+  bool has_clamp = false;
+  for (const Node& n : comp.body->nodes()) {
+    if (n.IsOp("clip") && n.attrs.GetInt("a_min", 0) == -64 &&
+        n.attrs.GetInt("a_max", 0) == 63) {
+      has_clamp = true;
+    }
+  }
+  EXPECT_TRUE(has_clamp);
+}
+
+TEST(Pipeline, DigitalAccelFasterThanCpuOnSameLayer) {
+  models::ConvLayerParams p;
+  p.c = 32;
+  p.k = 32;
+  p.iy = p.ix = 32;
+  Graph g = models::MakeConvLayerGraph(p);
+  auto digital = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(g);
+  auto cpu = HtvmCompiler{CompileOptions::PlainTvm()}.Compile(g);
+  ASSERT_TRUE(digital.ok() && cpu.ok());
+  EXPECT_LT(digital->TotalFullCycles() * 10, cpu->TotalFullCycles());
+}
+
+TEST(Pipeline, ResNetMixedUsesBothAccelerators) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kMixed);
+  HtvmCompiler compiler{CompileOptions{}};
+  auto art = compiler.Compile(net);
+  ASSERT_TRUE(art.ok()) << art.status().ToString();
+  const auto targets = KernelTargets(*art);
+  EXPECT_GT(targets.at("digital"), 0);
+  EXPECT_GT(targets.at("analog"), 0);
+  EXPECT_GT(targets.at("cpu"), 0);  // pool/softmax epilogue
+}
+
+TEST(Pipeline, ResNetDigitalOffloadsEverythingEligible) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  const auto targets = KernelTargets(*art);
+  // 10 weighted layers (9 convs + FC) + 3 residual adds on the accelerator.
+  EXPECT_EQ(targets.at("digital"), 13);
+  EXPECT_EQ(targets.count("analog"), 0u);
+}
+
+TEST(Pipeline, DsCnnAnalogLeavesDwOnCpu) {
+  Graph net = models::BuildDsCnn(models::PrecisionPolicy::kTernary);
+  auto art = HtvmCompiler{CompileOptions::AnalogOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  i64 cpu_dw = 0;
+  for (const auto& k : art->kernels) {
+    if (k.target == "cpu" && k.perf.macs > 0) ++cpu_dw;
+  }
+  EXPECT_GE(cpu_dw, 4);  // the four depthwise layers fall back
+  EXPECT_GT(KernelTargets(*art).at("analog"), 0);
+}
+
+TEST(Pipeline, BinarySizeBreakdownPositive) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  EXPECT_GT(art->size.runtime_bytes, 0);
+  EXPECT_GT(art->size.code_bytes, 0);
+  EXPECT_GT(art->size.weight_bytes, 50 * 1024);  // ~78k params
+  EXPECT_LT(art->size.Total(), 200 * 1024);
+}
+
+TEST(Pipeline, KernelGraphValidates) {
+  Graph net = models::BuildDsCnn(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  EXPECT_TRUE(art->kernel_graph.Validate().ok());
+  // Kernel order matches node order (sequential program of Fig. 2).
+  for (size_t i = 1; i < art->kernels.size(); ++i) {
+    EXPECT_LT(art->kernels[i - 1].node, art->kernels[i].node);
+  }
+}
+
+TEST(Pipeline, TilerOptionsPropagate) {
+  models::ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 64;
+  CompileOptions opt = CompileOptions::DigitalOnly();
+  opt.tiler.l1_budget_bytes = 8 * 1024;
+  auto art = HtvmCompiler{opt}.Compile(models::MakeConvLayerGraph(p));
+  ASSERT_TRUE(art.ok());
+  ASSERT_TRUE(art->kernels[0].schedule.has_value());
+  EXPECT_GT(art->kernels[0].schedule->steps.size(), 4u);
+  EXPECT_LT(art->kernels[0].schedule->solution.l1_bytes, 8 * 1024);
+}
+
+}  // namespace
+}  // namespace htvm::compiler

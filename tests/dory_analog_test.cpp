@@ -1,0 +1,135 @@
+// Focused tests of the analog-IMC scheduling path and of non-default
+// digital array configurations (the platform-porting story).
+#include <gtest/gtest.h>
+
+#include "dory/schedule.hpp"
+#include "hw/analog_accel.hpp"
+#include "hw/digital_accel.hpp"
+#include "dory/tiled_exec.hpp"
+#include "models/layer_zoo.hpp"
+#include "nn/kernels.hpp"
+#include "tensor/quantize.hpp"
+
+namespace htvm::dory {
+namespace {
+
+using models::ConvLayerParams;
+using models::MakeConvSpec;
+using models::MakeDenseSpec;
+
+const hw::DianaConfig kCfg = hw::DianaConfig::Default();
+
+AccelLayerSpec TernaryConv(i64 c, i64 k, i64 hw) {
+  ConvLayerParams p;
+  p.c = c;
+  p.k = k;
+  p.iy = p.ix = hw;
+  p.weight_dtype = DType::kTernary;
+  return MakeConvSpec(p);
+}
+
+TEST(AnalogSchedule, PeakIncludesMacroSetupAndRowWrites) {
+  auto sched = BuildSchedule(TernaryConv(16, 16, 16), kCfg,
+                             AccelTarget::kAnalog, {});
+  ASSERT_TRUE(sched.ok());
+  // rows = 16*9 = 144 -> 192 aligned; load = setup + rows * write.
+  const i64 expected_load = kCfg.analog.layer_setup_cycles +
+                            192 * kCfg.analog.row_write_cycles;
+  EXPECT_EQ(sched->weight_dma_cycles, expected_load);
+  EXPECT_GE(sched->peak_cycles, expected_load);
+}
+
+TEST(AnalogSchedule, FixedCostAmortizesWithLayerSize) {
+  auto small = BuildSchedule(TernaryConv(16, 16, 8), kCfg,
+                             AccelTarget::kAnalog, {});
+  auto large = BuildSchedule(TernaryConv(64, 64, 32), kCfg,
+                             AccelTarget::kAnalog, {});
+  ASSERT_TRUE(small.ok() && large.ok());
+  const auto tp = [](const AccelSchedule& s) {
+    return static_cast<double>(s.macs) / static_cast<double>(s.full_cycles);
+  };
+  // Throughput must grow steeply with size (weight load amortization) —
+  // the Fig. 5 analog curve shape.
+  EXPECT_GT(tp(*large), 10.0 * tp(*small));
+}
+
+TEST(AnalogSchedule, DenseAsOneByOneConv) {
+  auto sched = BuildSchedule(MakeDenseSpec(640, 128, DType::kTernary), kCfg,
+                             AccelTarget::kAnalog, {});
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(sched->steps.size(), 1u);  // 640 rows, 128 cols: single config
+  EXPECT_GT(sched->weight_dma_cycles, 640 * kCfg.analog.row_write_cycles);
+}
+
+TEST(AnalogSchedule, ColumnTilingBeyond512Outputs) {
+  auto sched = BuildSchedule(MakeDenseSpec(128, 1000, DType::kTernary), kCfg,
+                             AccelTarget::kAnalog, {});
+  ASSERT_TRUE(sched.ok());
+  // 1000 > 512 columns: the cost model charges two macro loads.
+  hw::AnalogLayerGeom g;
+  g.k = 1000;
+  g.c = 128;
+  EXPECT_EQ(hw::AnalogMacroTiles(kCfg.analog, g), 2);
+}
+
+TEST(AnalogSchedule, TiledAnalogDenseBitExactWith7BitClamp) {
+  const auto spec = MakeDenseSpec(256, 64, DType::kTernary);
+  auto sched = BuildSchedule(spec, kCfg, AccelTarget::kAnalog, {});
+  ASSERT_TRUE(sched.ok());
+  Rng rng(9);
+  const Tensor data = Tensor::Random(Shape{1, 256}, DType::kInt8, rng);
+  const Tensor weight = Tensor::Random(Shape{64, 256}, DType::kTernary, rng);
+  const Tensor bias = Tensor::Random(Shape{64}, DType::kInt32, rng);
+  auto tiled = ExecuteTiled(*sched, std::vector<Tensor>{data}, &weight,
+                            &bias);
+  ASSERT_TRUE(tiled.ok());
+  auto acc = nn::Dense(ClampTo7Bit(data), weight);
+  ASSERT_TRUE(acc.ok());
+  auto biased = nn::BiasAdd(*acc, bias, 1);
+  ASSERT_TRUE(biased.ok());
+  EXPECT_TRUE(tiled->SameAs(RequantizeTensor(*biased, spec.requant)));
+}
+
+TEST(PortedArray, HeuristicsFollowConfiguredPeGrid) {
+  // On an 8x8 array the PE heuristic must prefer channel tiles that are
+  // multiples of 8 (not 16).
+  hw::DianaConfig cfg = kCfg;
+  cfg.digital.pe_rows = 8;
+  cfg.digital.pe_cols = 8;
+  ConvLayerParams p;
+  p.c = 24;  // multiple of 8, not of 16
+  p.k = 24;
+  p.iy = p.ix = 32;
+  TilerOptions o;
+  o.l1_budget_bytes = 8 * 1024;
+  auto sol = SolveTiling(MakeConvSpec(p), cfg, AccelTarget::kDigital, o);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->c_t % 8, 0) << "c_t=" << sol->c_t;
+}
+
+TEST(PortedArray, SmallerArrayLowersPeak) {
+  hw::DianaConfig small = kCfg;
+  small.digital.pe_rows = 8;
+  small.digital.pe_cols = 8;
+  ConvLayerParams p;
+  p.c = p.k = 32;
+  p.iy = p.ix = 16;
+  const auto spec = MakeConvSpec(p);
+  auto big = BuildSchedule(spec, kCfg, AccelTarget::kDigital, {});
+  auto tiny = BuildSchedule(spec, small, AccelTarget::kDigital, {});
+  ASSERT_TRUE(big.ok() && tiny.ok());
+  // 64 vs 256 MAC/cycle peak: ~4x compute cycles.
+  EXPECT_NEAR(static_cast<double>(tiny->compute_cycles) /
+                  static_cast<double>(big->compute_cycles),
+              4.0, 0.8);
+}
+
+TEST(PortedArray, DigitalPeakScalesWithArray) {
+  hw::DigitalConfig small;
+  small.pe_rows = 8;
+  small.pe_cols = 8;
+  EXPECT_DOUBLE_EQ(hw::DigitalPeakMacsPerCycle(small), 64.0);
+}
+
+}  // namespace
+}  // namespace htvm::dory

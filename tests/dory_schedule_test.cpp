@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dory/schedule.hpp"
+#include "models/layer_zoo.hpp"
+
+namespace htvm::dory {
+namespace {
+
+using models::ConvLayerParams;
+using models::MakeConvSpec;
+using models::MakeDenseSpec;
+
+const hw::DianaConfig kCfg = hw::DianaConfig::Default();
+
+TilerOptions WithBudget(i64 bytes) {
+  TilerOptions o;
+  o.l1_budget_bytes = bytes;
+  return o;
+}
+
+// Tiles must partition the output exactly: every (k, y, x) output element
+// covered by exactly one last_c step, every input channel by one c step.
+void CheckCoverage(const AccelLayerSpec& spec, const AccelSchedule& sched) {
+  std::set<std::tuple<i64, i64, i64>> covered;
+  for (const TileStep& s : sched.steps) {
+    if (!s.last_c) continue;
+    for (i64 k = 0; k < s.k_t; ++k) {
+      for (i64 y = 0; y < s.oy_t; ++y) {
+        for (i64 x = 0; x < s.ox_t; ++x) {
+          const i64 kk = (spec.kind == LayerKind::kDwConv2d ||
+                          spec.kind == LayerKind::kAdd)
+                             ? s.c0 + k
+                             : s.k0 + k;
+          auto key = std::make_tuple(kk, s.y0 + y, s.x0 + x);
+          EXPECT_TRUE(covered.insert(key).second)
+              << "output element covered twice";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<i64>(covered.size()), spec.k * spec.oy * spec.ox);
+}
+
+TEST(Schedule, UntiledLayerIsOneStep) {
+  ConvLayerParams p;
+  p.c = 16;
+  p.k = 16;
+  p.iy = p.ix = 16;
+  auto sched = BuildSchedule(MakeConvSpec(p), kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(sched->steps.size(), 1u);
+  EXPECT_TRUE(sched->steps[0].first_c && sched->steps[0].last_c);
+}
+
+TEST(Schedule, TiledConvCoversOutputExactly) {
+  ConvLayerParams p;
+  p.c = 32;
+  p.k = 48;
+  p.iy = p.ix = 24;  // non-divisible tiles force edge remainders
+  const auto spec = MakeConvSpec(p);
+  auto sched =
+      BuildSchedule(spec, kCfg, AccelTarget::kDigital, WithBudget(8 * 1024));
+  ASSERT_TRUE(sched.ok());
+  EXPECT_GT(sched->steps.size(), 1u);
+  CheckCoverage(spec, *sched);
+}
+
+TEST(Schedule, DwConvCoversChannels) {
+  ConvLayerParams p;
+  p.depthwise = true;
+  p.c = 48;
+  p.iy = p.ix = 32;
+  const auto spec = MakeConvSpec(p);
+  auto sched =
+      BuildSchedule(spec, kCfg, AccelTarget::kDigital, WithBudget(8 * 1024));
+  ASSERT_TRUE(sched.ok());
+  CheckCoverage(spec, *sched);
+}
+
+TEST(Schedule, DenseCoversOutputs) {
+  const auto spec = MakeDenseSpec(640, 128);
+  auto sched = BuildSchedule(spec, kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sched.ok());
+  CheckCoverage(spec, *sched);
+}
+
+TEST(Schedule, PeakIncludesWeightDmaOnly) {
+  ConvLayerParams p;
+  p.c = 32;
+  p.k = 32;
+  p.iy = p.ix = 32;
+  auto sched = BuildSchedule(MakeConvSpec(p), kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(sched->peak_cycles,
+            sched->compute_cycles + sched->weight_dma_cycles);
+  EXPECT_EQ(sched->full_cycles, sched->peak_cycles +
+                                    sched->exposed_act_cycles +
+                                    sched->overhead_cycles);
+  EXPECT_GT(sched->weight_dma_cycles, 0);
+}
+
+TEST(Schedule, DoubleBufferHidesMiddleDma) {
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 48;
+  const auto spec = MakeConvSpec(p);
+  TilerOptions db = WithBudget(32 * 1024);
+  db.double_buffer = true;
+  TilerOptions nodb = db;
+  nodb.double_buffer = false;
+  auto with = BuildSchedule(spec, kCfg, AccelTarget::kDigital, db);
+  auto without = BuildSchedule(spec, kCfg, AccelTarget::kDigital, nodb);
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_LE(with->exposed_act_cycles, with->act_dma_cycles);
+  // Without double buffering everything is exposed.
+  EXPECT_EQ(without->exposed_act_cycles, without->act_dma_cycles);
+}
+
+TEST(Schedule, AnalogWeightLoadChargedOnce) {
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 48;
+  p.weight_dtype = DType::kTernary;
+  const auto spec = MakeConvSpec(p);
+  auto sched = BuildSchedule(spec, kCfg, AccelTarget::kAnalog,
+                             WithBudget(32 * 1024));
+  ASSERT_TRUE(sched.ok());
+  ASSERT_GT(sched->steps.size(), 1u);
+  i64 steps_with_load = 0;
+  for (const TileStep& s : sched->steps) {
+    if (s.weight_dma_cycles > 0) ++steps_with_load;
+  }
+  EXPECT_EQ(steps_with_load, 1);
+}
+
+TEST(Schedule, NonResidentWeightsReloadPerSpatialTile) {
+  // 640x128 dense: weights exceed the 64 kB digital weight memory, so every
+  // (k, c) tile pays DMA on each visit — the FC overhead effect.
+  const auto spec = MakeDenseSpec(640, 128);
+  auto sched = BuildSchedule(spec, kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sched.ok());
+  i64 w_dma_steps = 0;
+  for (const TileStep& s : sched->steps) {
+    if (s.weight_dma_cycles > 0) ++w_dma_steps;
+  }
+  EXPECT_EQ(w_dma_steps, static_cast<i64>(sched->steps.size()));
+}
+
+TEST(Schedule, MacsMatchSpec) {
+  ConvLayerParams p;
+  p.c = 16;
+  p.k = 32;
+  p.iy = p.ix = 20;
+  const auto spec = MakeConvSpec(p);
+  auto sched = BuildSchedule(spec, kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(sched->macs, spec.Macs());
+  EXPECT_EQ(spec.Macs(), 32 * 16 * 20 * 20 * 9);
+}
+
+TEST(Schedule, HeuristicsReduceLatencyOnConstrainedBudget) {
+  // The Fig. 4 effect: same layer, same budget, heuristics on vs off.
+  ConvLayerParams p;
+  p.c = 96;
+  p.k = 96;
+  p.iy = p.ix = 24;
+  const auto spec = MakeConvSpec(p);
+  TilerOptions on = WithBudget(16 * 1024);
+  TilerOptions off = on;
+  off.enable_pe_heuristics = false;
+  off.enable_dma_heuristic = false;
+  auto s_on = BuildSchedule(spec, kCfg, AccelTarget::kDigital, on);
+  auto s_off = BuildSchedule(spec, kCfg, AccelTarget::kDigital, off);
+  ASSERT_TRUE(s_on.ok() && s_off.ok());
+  EXPECT_LE(s_on->full_cycles, s_off->full_cycles);
+}
+
+}  // namespace
+}  // namespace htvm::dory

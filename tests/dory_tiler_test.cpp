@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "dory/schedule.hpp"
+#include "models/layer_zoo.hpp"
+
+namespace htvm::dory {
+namespace {
+
+using models::ConvLayerParams;
+using models::MakeConvSpec;
+using models::MakeDenseSpec;
+
+const hw::DianaConfig kCfg = hw::DianaConfig::Default();
+
+TilerOptions WithBudget(i64 bytes) {
+  TilerOptions o;
+  o.l1_budget_bytes = bytes;
+  return o;
+}
+
+TEST(Tiler, SmallLayerFitsUntiled) {
+  ConvLayerParams p;
+  p.c = 16;
+  p.k = 16;
+  p.iy = p.ix = 16;
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->needs_tiling);
+  EXPECT_EQ(sol->TileCount(), 1);
+  EXPECT_EQ(sol->c_t, 16);
+  EXPECT_EQ(sol->oy_t, 16);
+}
+
+TEST(Tiler, LargeLayerNeedsTiling) {
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 64;  // input alone is 256 kB
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->needs_tiling);
+  EXPECT_GT(sol->TileCount(), 1);
+}
+
+TEST(Tiler, RespectsL1Constraint) {
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 32;
+  for (const i64 budget : {256 * 1024, 64 * 1024, 16 * 1024, 4 * 1024}) {
+    auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital,
+                           WithBudget(budget));
+    ASSERT_TRUE(sol.ok()) << "budget " << budget;
+    EXPECT_LT(sol->l1_bytes, budget);
+  }
+}
+
+TEST(Tiler, InfeasibleBudgetReported) {
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 32;
+  // Even a 1x1x1x1 tile needs a 3x3 input halo: 9 B double-buffered plus a
+  // psum word exceeds 16 B.
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital,
+                         WithBudget(16));
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Tiler, PeHeuristicPrefersChannelMultiplesOf16) {
+  // C = 96: candidates include 32/48/96...; with heuristics the choice must
+  // land on a multiple of 16 when one is feasible.
+  ConvLayerParams p;
+  p.c = 96;
+  p.k = 96;
+  p.iy = p.ix = 32;
+  TilerOptions with = WithBudget(24 * 1024);
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital, with);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->needs_tiling);
+  EXPECT_EQ(sol->c_t % 16, 0) << "c_t=" << sol->c_t;
+}
+
+TEST(Tiler, DmaHeuristicReducesTransferFragmentation) {
+  // The DMA heuristic exists to minimize non-contiguous input transfers
+  // (Sec. III-C): with it enabled the chosen tile must keep the input rows
+  // contiguous (full-width tiles) or at least not transfer activations less
+  // efficiently than the memory-only objective.
+  ConvLayerParams p;
+  p.c = 32;
+  p.k = 32;
+  p.iy = p.ix = 64;
+  const auto spec = MakeConvSpec(p);
+  TilerOptions with = WithBudget(24 * 1024);
+  with.enable_dma_heuristic = true;
+  TilerOptions without = with;
+  without.enable_dma_heuristic = false;
+  without.enable_pe_heuristics = false;
+  auto sched_dma = BuildSchedule(spec, kCfg, AccelTarget::kDigital, with);
+  auto sched_plain =
+      BuildSchedule(spec, kCfg, AccelTarget::kDigital, without);
+  ASSERT_TRUE(sched_dma.ok() && sched_plain.ok());
+  EXPECT_TRUE(sched_dma->solution.ix_t == spec.ix ||
+              sched_dma->act_dma_cycles <= sched_plain->act_dma_cycles);
+  EXPECT_LE(sched_dma->full_cycles, sched_plain->full_cycles);
+}
+
+TEST(Tiler, PsumFlagSetWhenChannelsTiled) {
+  ConvLayerParams p;
+  p.c = 256;
+  p.k = 32;
+  p.iy = p.ix = 32;  // 256 kB input forces C tiling
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital,
+                         WithBudget(32 * 1024));
+  ASSERT_TRUE(sol.ok());
+  if (sol->c_t < 256) {
+    EXPECT_TRUE(sol->psum);
+  }
+}
+
+TEST(Tiler, AnalogNeverTilesChannels) {
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 64;
+  p.weight_dtype = DType::kTernary;
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kAnalog,
+                         WithBudget(32 * 1024));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->c_t, 64);
+  EXPECT_EQ(sol->n_c, 1);
+  EXPECT_FALSE(sol->psum);
+}
+
+TEST(Tiler, DenseTilesWhenWeightMemoryOverflows) {
+  // 640x128 int8 weights = 80 kB > 64 kB digital weight memory.
+  auto spec = MakeDenseSpec(640, 128);
+  auto sol = SolveTiling(spec, kCfg, AccelTarget::kDigital, {});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->needs_tiling);
+  EXPECT_LT(sol->c_t * sol->k_t, 64 * 1024);
+}
+
+TEST(Tiler, DwConvTiesOutputChannelsToInput) {
+  ConvLayerParams p;
+  p.depthwise = true;
+  p.c = 64;
+  p.iy = p.ix = 64;
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital,
+                         WithBudget(16 * 1024));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->k_t, sol->c_t);
+  EXPECT_FALSE(sol->psum);
+}
+
+TEST(Tiler, TileL1BytesAccountsDoubleBuffering) {
+  ConvLayerParams p;
+  p.c = 16;
+  p.k = 16;
+  p.iy = p.ix = 16;
+  auto spec = MakeConvSpec(p);
+  TilerOptions db;
+  db.double_buffer = true;
+  TilerOptions sb;
+  sb.double_buffer = false;
+  const i64 with_db = TileL1Bytes(spec, AccelTarget::kDigital, db, 16, 16, 8,
+                                  8, false);
+  const i64 without = TileL1Bytes(spec, AccelTarget::kDigital, sb, 16, 16, 8,
+                                  8, false);
+  EXPECT_EQ(with_db, 2 * without);
+}
+
+TEST(Tiler, ObjectiveMonotoneInMemoryUse) {
+  // With heuristics off, the solver maximizes memory utilization: the
+  // winning tile must use more than half the budget unless the layer is
+  // smaller than that.
+  ConvLayerParams p;
+  p.c = 64;
+  p.k = 64;
+  p.iy = p.ix = 32;
+  TilerOptions o = WithBudget(32 * 1024);
+  o.enable_pe_heuristics = false;
+  o.enable_dma_heuristic = false;
+  auto sol = SolveTiling(MakeConvSpec(p), kCfg, AccelTarget::kDigital, o);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->l1_bytes, 16 * 1024);
+}
+
+// Parameterized sweep: every solution satisfies Eq. 2 and covers the layer.
+struct SweepCase {
+  i64 c, k, hw, budget;
+};
+
+class TilerSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TilerSweep, SolutionsAreFeasibleAndCovering) {
+  const SweepCase sc = GetParam();
+  ConvLayerParams p;
+  p.c = sc.c;
+  p.k = sc.k;
+  p.iy = p.ix = sc.hw;
+  const auto spec = MakeConvSpec(p);
+  auto sol = SolveTiling(spec, kCfg, AccelTarget::kDigital,
+                         WithBudget(sc.budget));
+  if (!sol.ok()) GTEST_SKIP() << "infeasible at this budget";
+  EXPECT_LT(sol->l1_bytes, sc.budget);
+  EXPECT_GE(sol->n_c * sol->c_t, spec.c);
+  EXPECT_GE(sol->n_k * sol->k_t, spec.k);
+  EXPECT_GE(sol->n_y * sol->oy_t, spec.oy);
+  EXPECT_GE(sol->n_x * sol->ox_t, spec.ox);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TilerSweep,
+    ::testing::Values(SweepCase{16, 16, 32, 8 * 1024},
+                      SweepCase{32, 64, 32, 16 * 1024},
+                      SweepCase{64, 64, 64, 32 * 1024},
+                      SweepCase{128, 128, 8, 8 * 1024},
+                      SweepCase{3, 16, 32, 4 * 1024},
+                      SweepCase{96, 96, 16, 12 * 1024},
+                      SweepCase{64, 64, 64, 256 * 1024}));
+
+}  // namespace
+}  // namespace htvm::dory

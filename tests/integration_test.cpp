@@ -1,0 +1,134 @@
+// End-to-end invariants reproducing the *shape* of the paper's headline
+// results (Table I / Sec. IV-C). Absolute cycle counts are a cost model;
+// the orderings and ratios below are the claims that must hold.
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm {
+namespace {
+
+using compiler::Artifact;
+using compiler::CompileOptions;
+using compiler::HtvmCompiler;
+using models::PrecisionPolicy;
+
+Artifact MustCompile(const Graph& g, const CompileOptions& opt) {
+  auto art = HtvmCompiler{opt}.Compile(g);
+  HTVM_CHECK_MSG(art.ok(), "compile failed");
+  return std::move(art.value());
+}
+
+TEST(Integration, ResNetDigitalSpeedupOverTvmIsOrdersOfMagnitude) {
+  Graph net = models::BuildResNet8(PrecisionPolicy::kInt8);
+  const Artifact tvm = MustCompile(net, CompileOptions::PlainTvm());
+  const Artifact dig = MustCompile(net, CompileOptions::DigitalOnly());
+  const double speedup = static_cast<double>(tvm.TotalFullCycles()) /
+                         static_cast<double>(dig.TotalFullCycles());
+  // Paper: 112x (digital HTVM vs TVM). Require the order of magnitude.
+  EXPECT_GT(speedup, 40.0) << "speedup " << speedup;
+  EXPECT_LT(speedup, 400.0) << "speedup " << speedup;
+}
+
+TEST(Integration, MixedBeatsSingleAcceleratorOnResNet) {
+  Graph int8net = models::BuildResNet8(PrecisionPolicy::kInt8);
+  Graph mixednet = models::BuildResNet8(PrecisionPolicy::kMixed);
+  const Artifact dig = MustCompile(int8net, CompileOptions::DigitalOnly());
+  const Artifact mixed = MustCompile(mixednet, CompileOptions{});
+  // Paper Table I: mixed ResNet peak (0.61 ms) beats digital peak (0.66 ms).
+  EXPECT_LT(mixed.TotalPeakCycles(), dig.TotalPeakCycles());
+}
+
+TEST(Integration, DsCnnMixedMuchFasterThanAnalogOnly) {
+  Graph ternary = models::BuildDsCnn(PrecisionPolicy::kTernary);
+  Graph mixed = models::BuildDsCnn(PrecisionPolicy::kMixed);
+  const Artifact ana = MustCompile(ternary, CompileOptions::AnalogOnly());
+  const Artifact mix = MustCompile(mixed, CompileOptions{});
+  const double ratio = static_cast<double>(ana.TotalFullCycles()) /
+                       static_cast<double>(mix.TotalFullCycles());
+  // Paper: 8x (13.51 ms analog vs 1.69 ms mixed). Require > 3x.
+  EXPECT_GT(ratio, 3.0) << "ratio " << ratio;
+}
+
+TEST(Integration, AnalogOnlySlowerThanDigitalOnDwHeavyNets) {
+  // MobileNet / DS-CNN: depthwise layers fall back to the CPU in the
+  // analog-only configuration.
+  Graph t = models::BuildDsCnn(PrecisionPolicy::kTernary);
+  Graph d = models::BuildDsCnn(PrecisionPolicy::kInt8);
+  const Artifact ana = MustCompile(t, CompileOptions::AnalogOnly());
+  const Artifact dig = MustCompile(d, CompileOptions::DigitalOnly());
+  EXPECT_GT(ana.TotalFullCycles(), 2 * dig.TotalFullCycles());
+}
+
+TEST(Integration, MobileNetOomOnTvmRunsWithHtvm) {
+  Graph net = models::BuildMobileNetV1(PrecisionPolicy::kInt8);
+  const Artifact tvm = MustCompile(net, CompileOptions::PlainTvm());
+  const Artifact dig = MustCompile(net, CompileOptions::DigitalOnly());
+  EXPECT_FALSE(tvm.memory_plan.fits);
+  EXPECT_TRUE(dig.memory_plan.fits);
+}
+
+TEST(Integration, ResNetBinaryShrinksVsTvmAtEqualPrecision) {
+  Graph net = models::BuildResNet8(PrecisionPolicy::kInt8);
+  const Artifact tvm = MustCompile(net, CompileOptions::PlainTvm());
+  const Artifact dig = MustCompile(net, CompileOptions::DigitalOnly());
+  // Paper: up to 12.3% smaller at equal bit precision.
+  EXPECT_LT(dig.size.Total(), tvm.size.Total());
+  const double shrink =
+      1.0 - static_cast<double>(dig.size.Total()) /
+                static_cast<double>(tvm.size.Total());
+  EXPECT_GT(shrink, 0.02);
+  EXPECT_LT(shrink, 0.30);
+}
+
+TEST(Integration, ToyAdmosDigitalBeatsMixed) {
+  // Table I: ToyAdmos runs *slower* in the mixed configuration (0.52 ms)
+  // than digital-only (0.36 ms) — FC layers pay the analog weight-load.
+  Graph int8net = models::BuildToyAdmosDae(PrecisionPolicy::kInt8);
+  Graph mixednet = models::BuildToyAdmosDae(PrecisionPolicy::kMixed);
+  const Artifact dig = MustCompile(int8net, CompileOptions::DigitalOnly());
+  const Artifact mix = MustCompile(mixednet, CompileOptions{});
+  EXPECT_GT(mix.TotalFullCycles(), dig.TotalFullCycles());
+}
+
+TEST(Integration, PeakNeverExceedsFull) {
+  for (const auto& model : models::MlperfTinySuite()) {
+    Graph net = model.build(PrecisionPolicy::kInt8);
+    const Artifact art = MustCompile(net, CompileOptions::DigitalOnly());
+    EXPECT_LE(art.TotalPeakCycles(), art.TotalFullCycles()) << model.name;
+  }
+}
+
+TEST(Integration, AllTableOneConfigsCompile) {
+  for (const auto& model : models::MlperfTinySuite()) {
+    for (const PrecisionPolicy policy :
+         {PrecisionPolicy::kInt8, PrecisionPolicy::kTernary,
+          PrecisionPolicy::kMixed}) {
+      Graph net = model.build(policy);
+      CompileOptions opt;  // both accelerators on
+      auto art = HtvmCompiler{opt}.Compile(net);
+      EXPECT_TRUE(art.ok()) << model.name << " / "
+                            << models::PrecisionPolicyName(policy) << ": "
+                            << art.status().ToString();
+    }
+  }
+}
+
+TEST(Integration, CpuKernelCountDropsWithMoreAccelerators) {
+  // "By combining multiple accelerators, we need to dispatch fewer kernels
+  // ... to the general-purpose CPU."
+  Graph ternary = models::BuildDsCnn(PrecisionPolicy::kTernary);
+  Graph mixed = models::BuildDsCnn(PrecisionPolicy::kMixed);
+  const Artifact ana = MustCompile(ternary, CompileOptions::AnalogOnly());
+  const Artifact mix = MustCompile(mixed, CompileOptions{});
+  const auto cpu_kernels = [](const Artifact& a) {
+    i64 count = 0;
+    for (const auto& k : a.kernels) count += k.target == "cpu";
+    return count;
+  };
+  EXPECT_LT(cpu_kernels(mix), cpu_kernels(ana));
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/passes.hpp"
+#include "nn/interpreter.hpp"
+
+namespace htvm {
+namespace {
+
+TEST(Dce, DropsUnreachableNodes) {
+  Graph g;
+  NodeId a = g.AddInput("a", {Shape{1, 4}, DType::kInt8});
+  NodeId used = g.AddOp("nn.relu", {a});
+  g.AddOp("nn.relu", {a});  // dead
+  Rng rng(1);
+  g.AddConstant(Tensor::Random(Shape{3}, DType::kInt8, rng));  // dead
+  g.SetOutputs({used});
+  Graph out = DeadCodeElimination(g);
+  EXPECT_EQ(out.NumNodes(), 2);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(Dce, KeepsUnusedGraphInputs) {
+  Graph g;
+  NodeId a = g.AddInput("a", {Shape{1}, DType::kInt8});
+  g.AddInput("unused", {Shape{1}, DType::kInt8});
+  NodeId r = g.AddOp("nn.relu", {a});
+  g.SetOutputs({r});
+  Graph out = DeadCodeElimination(g);
+  EXPECT_EQ(out.inputs().size(), 2u);  // calling convention preserved
+}
+
+TEST(ConstantFold, FoldsConstantChain) {
+  Graph g;
+  NodeId c = g.AddConstant(Tensor::FromInt32(Shape{1}, {640}));
+  NodeId s = g.AddConstant(Tensor::FromInt32(Shape{1}, {4}));
+  NodeId shifted = g.AddOp("right_shift", {c, s});
+  NodeId in = g.AddInput("x", {Shape{1}, DType::kInt32});
+  NodeId sum = g.AddOp("add", {in, shifted});
+  g.SetOutputs({sum});
+
+  Graph folded = ConstantFold(g, nn::StandardEvaluator());
+  // The right_shift collapses into one constant: input + const + add = 3.
+  EXPECT_EQ(folded.NumNodes(), 3);
+  i64 const_val = -1;
+  for (const Node& n : folded.nodes()) {
+    if (n.kind == NodeKind::kConstant) const_val = n.value.GetFlat(0);
+    EXPECT_NE(n.op, "right_shift");
+  }
+  EXPECT_EQ(const_val, 40);
+}
+
+TEST(ConstantFold, PreservesSemantics) {
+  // Fold a graph and check the folded graph computes the same function.
+  GraphBuilder b(3);
+  NodeId x = b.Input("x", Shape{1, 4, 6, 6});
+  ConvSpec spec;
+  spec.out_channels = 4;
+  spec = WithSamePadding(spec, 6, 6);
+  NodeId y = b.ConvBlock(x, spec, "c");
+  Graph g = b.Finish(y);
+
+  Graph folded = ConstantFold(g, nn::StandardEvaluator());
+  Rng rng(5);
+  const Tensor input = Tensor::Random(Shape{1, 4, 6, 6}, DType::kInt8, rng);
+  auto ref = nn::RunGraph(g, std::vector<Tensor>{input});
+  auto opt = nn::RunGraph(folded, std::vector<Tensor>{input});
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(ref.value()[0].SameAs(opt.value()[0]));
+}
+
+TEST(ConstantFold, LeavesNonConstOpsAlone) {
+  Graph g;
+  NodeId a = g.AddInput("a", {Shape{1, 4}, DType::kInt8});
+  NodeId r = g.AddOp("nn.relu", {a});
+  g.SetOutputs({r});
+  Graph folded = ConstantFold(g, nn::StandardEvaluator());
+  EXPECT_EQ(folded.NumNodes(), 2);
+}
+
+TEST(RebuildGraph, RemapsIdsCompactly) {
+  Graph g;
+  NodeId a = g.AddInput("a", {Shape{1}, DType::kInt8});
+  NodeId dead = g.AddOp("nn.relu", {a});
+  NodeId live = g.AddOp("nn.relu", {a});
+  (void)dead;
+  g.SetOutputs({live});
+  std::vector<bool> keep(static_cast<size_t>(g.NumNodes()), true);
+  keep[1] = false;  // drop `dead`
+  std::vector<NodeId> remap;
+  Graph out = RebuildGraph(g, keep, &remap);
+  EXPECT_EQ(out.NumNodes(), 2);
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[1], kInvalidNode);
+  EXPECT_EQ(remap[2], 1);
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "compiler/memory_planner.hpp"
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "tvmgen/fusion.hpp"
+
+namespace htvm::compiler {
+namespace {
+
+Graph ChainKernelGraph(i64 stages, i64 elems) {
+  // input -> relu -> relu -> ... (each own kernel), all [1, elems] int8.
+  Graph g;
+  NodeId x = g.AddInput("x", {Shape{1, elems}, DType::kInt8});
+  for (i64 i = 0; i < stages; ++i) {
+    x = g.AddOp("nn.relu", {x});
+  }
+  g.SetOutputs({x});
+  return tvmgen::LowerToKernels(g);
+}
+
+TEST(MemoryPlanner, ReusePacksChainIntoTwoBuffers) {
+  Graph kg = ChainKernelGraph(6, 1024);
+  MemoryPlan plan = PlanL2Memory(kg, 0, 1 << 20, /*reuse=*/true);
+  // A linear chain needs at most two live buffers at a time.
+  EXPECT_LE(plan.arena_bytes, 2 * 1024 + 16);
+  EXPECT_TRUE(plan.fits);
+}
+
+TEST(MemoryPlanner, NoReuseSumsEverything) {
+  Graph kg = ChainKernelGraph(6, 1024);
+  MemoryPlan plan = PlanL2Memory(kg, 0, 1 << 20, /*reuse=*/false);
+  EXPECT_GE(plan.arena_bytes, 7 * 1024);  // input + 6 intermediates
+}
+
+TEST(MemoryPlanner, NoOverlapBetweenLiveBuffers) {
+  Graph kg = ChainKernelGraph(4, 512);
+  MemoryPlan plan = PlanL2Memory(kg, 0, 1 << 20, /*reuse=*/true);
+  for (size_t i = 0; i < plan.buffers.size(); ++i) {
+    for (size_t j = i + 1; j < plan.buffers.size(); ++j) {
+      const auto& a = plan.buffers[i];
+      const auto& b = plan.buffers[j];
+      const bool time_overlap =
+          a.def_time <= b.last_use_time && b.def_time <= a.last_use_time;
+      const bool space_overlap =
+          a.offset < b.offset + b.size && b.offset < a.offset + a.size;
+      EXPECT_FALSE(time_overlap && space_overlap)
+          << "buffers " << i << " and " << j << " collide";
+    }
+  }
+}
+
+TEST(MemoryPlanner, ImageBytesCountAgainstCapacity) {
+  Graph kg = ChainKernelGraph(2, 1024);
+  MemoryPlan plan = PlanL2Memory(kg, 510 * 1024, 512 * 1024, true);
+  EXPECT_TRUE(plan.fits);
+  MemoryPlan too_big = PlanL2Memory(kg, 512 * 1024, 512 * 1024, true);
+  EXPECT_FALSE(too_big.fits);
+}
+
+TEST(MemoryPlanner, MobileNetOomOnPlainTvmButFitsWithHtvm) {
+  // The Table I headline memory result.
+  Graph net = models::BuildMobileNetV1(models::PrecisionPolicy::kInt8);
+  auto tvm = HtvmCompiler{CompileOptions::PlainTvm()}.Compile(net);
+  auto htvm = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(tvm.ok() && htvm.ok());
+  EXPECT_FALSE(tvm->memory_plan.fits)
+      << "plain TVM should exceed 512 kB: "
+      << tvm->memory_plan.total_l2_bytes;
+  EXPECT_TRUE(htvm->memory_plan.fits)
+      << "HTVM should fit: " << htvm->memory_plan.total_l2_bytes;
+}
+
+TEST(MemoryPlanner, ResNetFitsOnBothFlows) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto tvm = HtvmCompiler{CompileOptions::PlainTvm()}.Compile(net);
+  auto htvm = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(tvm.ok() && htvm.ok());
+  EXPECT_TRUE(tvm->memory_plan.fits);
+  EXPECT_TRUE(htvm->memory_plan.fits);
+}
+
+TEST(MemoryPlanner, ResidualKeepsSkipAlive) {
+  // x feeds both a conv and the add 2 kernels later: its buffer must not be
+  // recycled in between.
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  const auto& plan = art->memory_plan;
+  for (const auto& buf : plan.buffers) {
+    EXPECT_GE(buf.last_use_time, buf.def_time);
+  }
+  EXPECT_GT(plan.arena_bytes, 16 * 32 * 32);  // at least two live maps
+}
+
+}  // namespace
+}  // namespace htvm::compiler

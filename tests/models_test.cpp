@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "hw/cpu.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "nn/interpreter.hpp"
+
+namespace htvm::models {
+namespace {
+
+i64 TotalMacs(const Graph& g) {
+  i64 macs = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.kind == NodeKind::kOp) macs += hw::ComputeOpWork(g, n).macs;
+  }
+  return macs;
+}
+
+i64 WeightedLayers(const Graph& g) {
+  i64 count = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense")) ++count;
+  }
+  return count;
+}
+
+std::map<DType, i64> WeightDtypes(const Graph& g) {
+  std::map<DType, i64> counts;
+  for (const Node& n : g.nodes()) {
+    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense")) {
+      ++counts[g.node(n.inputs[1]).type.dtype];
+    }
+  }
+  return counts;
+}
+
+TEST(Models, ResNet8Shape) {
+  Graph g = BuildResNet8(PrecisionPolicy::kInt8);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.node(g.outputs()[0]).type.shape, (Shape{1, 10}));
+  EXPECT_EQ(WeightedLayers(g), 10);
+  // ~12.5M MACs (MLPerf Tiny reference: 12.5M).
+  const i64 macs = TotalMacs(g);
+  EXPECT_GT(macs, 11'000'000);
+  EXPECT_LT(macs, 14'000'000);
+}
+
+TEST(Models, DsCnnShape) {
+  Graph g = BuildDsCnn(PrecisionPolicy::kInt8);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.node(g.outputs()[0]).type.shape, (Shape{1, 12}));
+  EXPECT_EQ(WeightedLayers(g), 10);
+  const i64 macs = TotalMacs(g);
+  EXPECT_GT(macs, 2'000'000);
+  EXPECT_LT(macs, 4'000'000);
+}
+
+TEST(Models, MobileNetShape) {
+  Graph g = BuildMobileNetV1(PrecisionPolicy::kInt8);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.node(g.outputs()[0]).type.shape, (Shape{1, 2}));
+  EXPECT_EQ(WeightedLayers(g), 28);
+  const i64 macs = TotalMacs(g);
+  EXPECT_GT(macs, 6'000'000);
+  EXPECT_LT(macs, 10'000'000);
+}
+
+TEST(Models, ToyAdmosShape) {
+  Graph g = BuildToyAdmosDae(PrecisionPolicy::kInt8);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.node(g.outputs()[0]).type.shape, (Shape{1, 640}));
+  EXPECT_EQ(WeightedLayers(g), 10);
+  // ~264k params ~= 264k MACs.
+  const i64 macs = TotalMacs(g);
+  EXPECT_GT(macs, 200'000);
+  EXPECT_LT(macs, 300'000);
+}
+
+TEST(Models, Int8PolicyHasNoTernary) {
+  for (const auto& model : MlperfTinySuite()) {
+    const auto counts = WeightDtypes(model.build(PrecisionPolicy::kInt8));
+    EXPECT_EQ(counts.count(DType::kTernary), 0u) << model.name;
+  }
+}
+
+TEST(Models, TernaryPolicyKeepsDepthwiseInt8) {
+  Graph g = BuildMobileNetV1(PrecisionPolicy::kTernary);
+  for (const Node& n : g.nodes()) {
+    if (!n.IsOp("nn.conv2d")) continue;
+    const bool dw = n.attrs.GetInt("groups", 1) > 1;
+    const DType wt = g.node(n.inputs[1]).type.dtype;
+    if (dw) {
+      EXPECT_EQ(wt, DType::kInt8);
+    } else {
+      EXPECT_EQ(wt, DType::kTernary);
+    }
+  }
+}
+
+TEST(Models, MixedPolicyPinsFirstAndLastToInt8) {
+  Graph g = BuildResNet8(PrecisionPolicy::kMixed);
+  std::vector<DType> weighted;
+  for (const Node& n : g.nodes()) {
+    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense")) {
+      weighted.push_back(g.node(n.inputs[1]).type.dtype);
+    }
+  }
+  ASSERT_EQ(weighted.size(), 10u);
+  EXPECT_EQ(weighted.front(), DType::kInt8);
+  EXPECT_EQ(weighted.back(), DType::kInt8);
+  // Middle layers go ternary.
+  i64 ternary = 0;
+  for (DType t : weighted) ternary += t == DType::kTernary;
+  EXPECT_GE(ternary, 6);
+}
+
+TEST(Models, AllNetsExecuteFunctionally) {
+  Rng rng(1);
+  struct Case {
+    Graph g;
+    Shape in;
+  };
+  std::vector<Case> cases;
+  cases.push_back({BuildResNet8(PrecisionPolicy::kInt8), Shape{1, 3, 32, 32}});
+  cases.push_back({BuildDsCnn(PrecisionPolicy::kInt8), Shape{1, 1, 49, 10}});
+  cases.push_back(
+      {BuildToyAdmosDae(PrecisionPolicy::kInt8), Shape{1, 640}});
+  for (auto& c : cases) {
+    const Tensor input = Tensor::Random(c.in, DType::kInt8, rng);
+    auto out = nn::RunGraph(c.g, std::vector<Tensor>{input});
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+}
+
+TEST(Models, SuiteHasFourEntries) {
+  const auto suite = MlperfTinySuite();
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_STREQ(suite[0].name, "DSCNN");
+  EXPECT_STREQ(suite[2].name, "ResNet");
+}
+
+TEST(Models, DeterministicAcrossBuilds) {
+  Graph a = BuildResNet8(PrecisionPolicy::kInt8);
+  Graph b = BuildResNet8(PrecisionPolicy::kInt8);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId i = 0; i < a.NumNodes(); ++i) {
+    if (a.node(i).kind == NodeKind::kConstant) {
+      EXPECT_TRUE(a.node(i).value.SameAs(b.node(i).value));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htvm::models

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "nn/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace htvm::nn {
+namespace {
+
+TEST(Conv2d, IdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input as int32.
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 2, 2}, {1, -2, 3, 4});
+  Tensor w = Tensor::FromInt8(Shape{1, 1, 1, 1}, {1});
+  auto out = Conv2d(data, w, {1, 1}, {0, 0, 0, 0}, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dtype(), DType::kInt32);
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 1);
+  EXPECT_EQ(out->At4(0, 0, 0, 1), -2);
+}
+
+TEST(Conv2d, HandComputed3x3) {
+  // All-ones 3x3 kernel on a constant-1 input with zero padding counts the
+  // in-bounds neighbours.
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 3, 3},
+                                 {1, 1, 1, 1, 1, 1, 1, 1, 1});
+  Tensor w = Tensor::FromInt8(Shape{1, 1, 3, 3}, {1, 1, 1, 1, 1, 1, 1, 1, 1});
+  auto out = Conv2d(data, w, {1, 1}, {1, 1, 1, 1}, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At4(0, 0, 1, 1), 9);  // center
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 4);  // corner
+  EXPECT_EQ(out->At4(0, 0, 0, 1), 6);  // edge
+}
+
+TEST(Conv2d, StrideTwo) {
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 4, 4},
+                                 {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                  13, 14, 15});
+  Tensor w = Tensor::FromInt8(Shape{1, 1, 1, 1}, {2});
+  auto out = Conv2d(data, w, {2, 2}, {0, 0, 0, 0}, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 0);
+  EXPECT_EQ(out->At4(0, 0, 0, 1), 4);
+  EXPECT_EQ(out->At4(0, 0, 1, 0), 16);
+  EXPECT_EQ(out->At4(0, 0, 1, 1), 20);
+}
+
+TEST(Conv2d, DepthwiseKeepsChannelsSeparate) {
+  // Two channels, weights 1 and 10: outputs must not mix.
+  Tensor data = Tensor::FromInt8(Shape{1, 2, 1, 1}, {3, 5});
+  Tensor w = Tensor::FromInt8(Shape{2, 1, 1, 1}, {1, 10});
+  auto out = Conv2d(data, w, {1, 1}, {0, 0, 0, 0}, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 3);
+  EXPECT_EQ(out->At4(0, 1, 0, 0), 50);
+}
+
+TEST(Conv2d, TernaryWeightsWork) {
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 1, 3}, {10, 20, 30});
+  Tensor w(Shape{1, 1, 1, 3}, DType::kTernary);
+  w.SetFlat(0, 1);
+  w.SetFlat(1, 0);
+  w.SetFlat(2, -1);
+  auto out = Conv2d(data, w, {1, 1}, {0, 0, 0, 0}, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At4(0, 0, 0, 0), -20);
+}
+
+TEST(Conv2d, GroupedMatchesManualSplit) {
+  // groups=2 conv equals two independent convs on channel halves.
+  Rng rng(17);
+  Tensor data = Tensor::Random(Shape{1, 4, 5, 5}, DType::kInt8, rng);
+  Tensor w = Tensor::Random(Shape{6, 2, 3, 3}, DType::kInt8, rng);
+  auto grouped = Conv2d(data, w, {1, 1}, {1, 1, 1, 1}, 2);
+  ASSERT_TRUE(grouped.ok());
+
+  // Manual split.
+  Tensor d0(Shape{1, 2, 5, 5}, DType::kInt8), d1(Shape{1, 2, 5, 5},
+                                                 DType::kInt8);
+  for (i64 c = 0; c < 2; ++c) {
+    for (i64 y = 0; y < 5; ++y) {
+      for (i64 x = 0; x < 5; ++x) {
+        d0.Set4(0, c, y, x, data.At4(0, c, y, x));
+        d1.Set4(0, c, y, x, data.At4(0, c + 2, y, x));
+      }
+    }
+  }
+  Tensor w0(Shape{3, 2, 3, 3}, DType::kInt8), w1(Shape{3, 2, 3, 3},
+                                                 DType::kInt8);
+  for (i64 i = 0; i < w0.NumElements(); ++i) {
+    w0.SetFlat(i, w.GetFlat(i));
+    w1.SetFlat(i, w.GetFlat(i + w0.NumElements()));
+  }
+  auto g0 = Conv2d(d0, w0, {1, 1}, {1, 1, 1, 1}, 1);
+  auto g1 = Conv2d(d1, w1, {1, 1}, {1, 1, 1, 1}, 1);
+  ASSERT_TRUE(g0.ok() && g1.ok());
+  for (i64 k = 0; k < 3; ++k) {
+    for (i64 y = 0; y < 5; ++y) {
+      for (i64 x = 0; x < 5; ++x) {
+        EXPECT_EQ(grouped->At4(0, k, y, x), g0->At4(0, k, y, x));
+        EXPECT_EQ(grouped->At4(0, k + 3, y, x), g1->At4(0, k, y, x));
+      }
+    }
+  }
+}
+
+TEST(Dense, HandComputed) {
+  Tensor data = Tensor::FromInt8(Shape{1, 3}, {1, 2, 3});
+  Tensor w = Tensor::FromInt8(Shape{2, 3}, {1, 0, -1, 2, 2, 2});
+  auto out = Dense(data, w);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetFlat(0), -2);
+  EXPECT_EQ(out->GetFlat(1), 12);
+}
+
+TEST(Dense, MatchesConv1x1) {
+  // dense(x, W) == conv2d over a 1x1 spatial map with C=I channels.
+  Rng rng(3);
+  Tensor x = Tensor::Random(Shape{1, 32}, DType::kInt8, rng);
+  Tensor w = Tensor::Random(Shape{8, 32}, DType::kInt8, rng);
+  auto d = Dense(x, w);
+  ASSERT_TRUE(d.ok());
+  auto conv = Conv2d(x.Reshaped(Shape{1, 32, 1, 1}),
+                     w.Reshaped(Shape{8, 32, 1, 1}), {1, 1}, {0, 0, 0, 0}, 1);
+  ASSERT_TRUE(conv.ok());
+  for (i64 k = 0; k < 8; ++k) {
+    EXPECT_EQ(d->GetFlat(k), conv->At4(0, k, 0, 0));
+  }
+}
+
+TEST(BiasAdd, PerChannelAxis1) {
+  Tensor data = Tensor::FromInt32(Shape{1, 2, 1, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromInt32(Shape{2}, {10, 20});
+  auto out = BiasAdd(data, bias, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetFlat(0), 11);
+  EXPECT_EQ(out->GetFlat(1), 12);
+  EXPECT_EQ(out->GetFlat(2), 23);
+  EXPECT_EQ(out->GetFlat(3), 24);
+}
+
+TEST(Elementwise, RightShiftClipCastChain) {
+  Tensor acc = Tensor::FromInt32(Shape{3}, {1000, -1000, 8});
+  auto shifted =
+      RightShift(acc, Tensor::FromInt32(Shape{1}, {3}));
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_EQ(shifted->GetFlat(0), 125);
+  auto clipped = Clip(*shifted, -128, 127);
+  ASSERT_TRUE(clipped.ok());
+  EXPECT_EQ(clipped->GetFlat(1), -125);
+  auto cast = Cast(*clipped, DType::kInt8);
+  ASSERT_TRUE(cast.ok());
+  EXPECT_EQ(cast->dtype(), DType::kInt8);
+}
+
+TEST(Elementwise, AddPromotesAndSums) {
+  Tensor a = Tensor::FromInt8(Shape{2}, {100, -100});
+  Tensor b = Tensor::FromInt8(Shape{2}, {100, -100});
+  auto out = Add(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dtype(), DType::kInt32);
+  EXPECT_EQ(out->GetFlat(0), 200);  // no int8 wraparound
+  EXPECT_EQ(out->GetFlat(1), -200);
+}
+
+TEST(Pooling, MaxPool) {
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 2, 4},
+                                 {1, 5, 2, 6, 3, 7, 4, 8});
+  auto out = MaxPool2d(data, {2, 2}, {2, 2}, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 7);
+  EXPECT_EQ(out->At4(0, 0, 0, 1), 8);
+}
+
+TEST(Pooling, AvgPoolRounds) {
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 2, 2}, {1, 2, 3, 5});
+  auto out = AvgPool2d(data, {2, 2}, {2, 2}, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 3);  // 11/4 = 2.75 -> 3
+}
+
+TEST(Pooling, GlobalAvgPool) {
+  Tensor data = Tensor::FromInt8(Shape{1, 2, 2, 2},
+                                 {1, 1, 1, 1, -3, -3, -3, -5});
+  auto out = GlobalAvgPool2d(data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 1);
+  EXPECT_EQ(out->At4(0, 1, 0, 0), -4);  // -14/4 = -3.5 -> -4 (away from 0)
+}
+
+TEST(Softmax, MonotoneAndNormalized) {
+  Tensor data = Tensor::FromInt8(Shape{1, 4}, {10, 20, 30, 40});
+  auto out = Softmax(data);
+  ASSERT_TRUE(out.ok());
+  // Monotone in the input, peak dominates.
+  EXPECT_LE(out->GetFlat(0), out->GetFlat(1));
+  EXPECT_LE(out->GetFlat(1), out->GetFlat(2));
+  EXPECT_LE(out->GetFlat(2), out->GetFlat(3));
+  EXPECT_GT(out->GetFlat(3), 30);
+  // Deterministic.
+  auto again = Softmax(data);
+  EXPECT_TRUE(out->SameAs(*again));
+}
+
+}  // namespace
+}  // namespace htvm::nn

@@ -1,0 +1,127 @@
+// nn.pad op + the AbsorbPadding legalization pass (TFLite imports carry
+// explicit PAD ops before stride-2 convolutions; the accelerator patterns
+// need the padding on the conv attribute).
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "ir/passes.hpp"
+#include "nn/interpreter.hpp"
+#include "nn/kernels.hpp"
+
+namespace htvm {
+namespace {
+
+TEST(Pad, KernelZeroPads) {
+  Tensor data = Tensor::FromInt8(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  auto out = nn::Pad2d(data, {1, 0, 0, 2});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 1, 3, 4}));
+  EXPECT_EQ(out->At4(0, 0, 0, 0), 0);  // padded row
+  EXPECT_EQ(out->At4(0, 0, 1, 0), 1);
+  EXPECT_EQ(out->At4(0, 0, 1, 3), 0);  // padded cols
+  EXPECT_EQ(out->At4(0, 0, 2, 1), 4);
+}
+
+TEST(Pad, OpInference) {
+  Graph g;
+  NodeId x = g.AddInput("x", {Shape{1, 3, 10, 10}, DType::kInt8});
+  NodeId p = g.AddOp("nn.pad", {x},
+                     AttrMap{{"pad_width", std::vector<i64>{0, 1, 1, 0}}});
+  EXPECT_EQ(g.node(p).type.shape, (Shape{1, 3, 11, 11}));
+  auto bad = g.TryAddOp("nn.pad", {x},
+                        AttrMap{{"pad_width", std::vector<i64>{-1, 0, 0, 0}}});
+  EXPECT_FALSE(bad.ok());
+}
+
+// Builds pad -> conv -> requant the way a TFLite import looks.
+Graph PaddedConvGraph(u64 seed) {
+  GraphBuilder b(seed);
+  NodeId x = b.Input("x", Shape{1, 8, 16, 16});
+  Graph& g = b.graph();
+  NodeId padded = g.AddOp(
+      "nn.pad", {x}, AttrMap{{"pad_width", std::vector<i64>{0, 0, 1, 1}}});
+  Rng rng(seed + 1);
+  NodeId w = g.AddConstant(
+      Tensor::Random(Shape{8, 8, 3, 3}, DType::kInt8, rng), "w");
+  NodeId conv = g.AddOp("nn.conv2d", {padded, w},
+                        AttrMap{{"strides", std::vector<i64>{2, 2}}});
+  NodeId bias = g.AddConstant(Tensor::Random(Shape{8}, DType::kInt32, rng));
+  NodeId biased = g.AddOp("nn.bias_add", {conv, bias});
+  return b.Finish(b.Requant(biased, 7, true));
+}
+
+TEST(AbsorbPadding, FoldsPadIntoConvAttr) {
+  Graph g = PaddedConvGraph(3);
+  Graph folded = AbsorbPadding(g);
+  ASSERT_TRUE(folded.Validate().ok());
+  bool saw_pad = false;
+  const Node* conv = nullptr;
+  for (const Node& n : folded.nodes()) {
+    if (n.IsOp("nn.pad")) saw_pad = true;
+    if (n.IsOp("nn.conv2d")) conv = &n;
+  }
+  EXPECT_FALSE(saw_pad);
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->attrs.GetIntVec("padding"),
+            (std::vector<i64>{0, 0, 1, 1}));
+}
+
+TEST(AbsorbPadding, PreservesSemantics) {
+  Graph g = PaddedConvGraph(7);
+  Graph folded = AbsorbPadding(g);
+  Rng rng(9);
+  const Tensor input = Tensor::Random(Shape{1, 8, 16, 16}, DType::kInt8, rng);
+  auto a = nn::RunGraph(g, std::vector<Tensor>{input});
+  auto b = nn::RunGraph(folded, std::vector<Tensor>{input});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a.value()[0].SameAs(b.value()[0]));
+}
+
+TEST(AbsorbPadding, LeavesSharedPadAlone) {
+  // A pad with two consumers cannot be absorbed (one consumer is a pool).
+  GraphBuilder b(4);
+  NodeId x = b.Input("x", Shape{1, 4, 8, 8});
+  Graph& g = b.graph();
+  NodeId padded = g.AddOp(
+      "nn.pad", {x}, AttrMap{{"pad_width", std::vector<i64>{1, 1, 1, 1}}});
+  Rng rng(5);
+  NodeId w = g.AddConstant(
+      Tensor::Random(Shape{4, 4, 3, 3}, DType::kInt8, rng));
+  NodeId conv = g.AddOp("nn.conv2d", {padded, w});
+  NodeId conv8 =
+      g.AddOp("cast", {conv}, AttrMap{{"dtype", std::string("int8")}});
+  NodeId pool = g.AddOp("nn.max_pool2d", {padded},
+                        AttrMap{{"pool_size", std::vector<i64>{2, 2}},
+                                {"strides", std::vector<i64>{2, 2}}});
+  NodeId pool_flat = g.AddOp("nn.flatten", {pool});
+  NodeId conv_flat = g.AddOp("nn.flatten", {conv8});
+  // Keep both alive via two outputs... single-output graphs only: concat by
+  // add on equal-size flattens is overkill; just output the conv path and
+  // keep pool alive through it.
+  (void)pool_flat;
+  g.SetOutputs({conv_flat});
+  Graph full = std::move(g);
+  // pool_flat is dead but `padded` still has 2 uses at absorb time.
+  Graph folded = AbsorbPadding(full);
+  bool saw_pad = false;
+  for (const Node& n : folded.nodes()) {
+    if (n.IsOp("nn.pad")) saw_pad = true;
+  }
+  EXPECT_TRUE(saw_pad);
+}
+
+TEST(AbsorbPadding, PipelineDispatchesPaddedConvToAccelerator) {
+  // End-to-end: the TFLite-style pad+conv chain must still reach the
+  // digital accelerator (without the pass, the pad would break the match).
+  Graph g = PaddedConvGraph(11);
+  auto art =
+      compiler::HtvmCompiler{compiler::CompileOptions::DigitalOnly()}.Compile(
+          g);
+  ASSERT_TRUE(art.ok());
+  ASSERT_EQ(art->kernels.size(), 1u);
+  EXPECT_EQ(art->kernels[0].target, "digital");
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "nn/interpreter.hpp"
+#include "pattern/matcher.hpp"
+#include "pattern/rewriter.hpp"
+#include "pattern/std_patterns.hpp"
+
+namespace htvm {
+namespace {
+
+Graph ConvChainGraph(bool with_relu) {
+  GraphBuilder b(1);
+  NodeId x = b.Input("x", Shape{1, 8, 8, 8});
+  ConvSpec spec;
+  spec.out_channels = 16;
+  spec.relu = with_relu;
+  spec = WithSamePadding(spec, 8, 8);
+  return b.Finish(b.ConvBlock(x, spec, "c"));
+}
+
+TEST(Matcher, MatchesConvChainWithRelu) {
+  Graph g = ConvChainGraph(true);
+  MatchResult m;
+  ASSERT_TRUE(MatchAt(g, g.outputs()[0], ConvChainPattern(), g.UseCounts(),
+                      &m));
+  // internal: conv, bias_add, right_shift, clip, cast, clip + 3 constants
+  EXPECT_EQ(m.internal.size(), 9u);
+  EXPECT_EQ(m.external_inputs.size(), 1u);
+  EXPECT_EQ(g.node(m.external_inputs[0]).kind, NodeKind::kInput);
+  EXPECT_EQ(m.at(g, "anchor").op, "nn.conv2d");
+  EXPECT_EQ(m.at(g, "weight").kind, NodeKind::kConstant);
+}
+
+TEST(Matcher, MatchesConvChainWithoutOptionalRelu) {
+  Graph g = ConvChainGraph(false);
+  MatchResult m;
+  ASSERT_TRUE(MatchAt(g, g.outputs()[0], ConvChainPattern(), g.UseCounts(),
+                      &m));
+  EXPECT_EQ(m.internal.size(), 8u);  // no activation clip
+}
+
+TEST(Matcher, RejectsAtWrongRoot) {
+  Graph g = ConvChainGraph(true);
+  MatchResult m;
+  // Root at the conv itself (not the end of the chain): pattern expects the
+  // requant chain above it.
+  NodeId conv = kInvalidNode;
+  for (const Node& n : g.nodes()) {
+    if (n.IsOp("nn.conv2d")) conv = n.id;
+  }
+  EXPECT_FALSE(MatchAt(g, conv, ConvChainPattern(), g.UseCounts(), &m));
+}
+
+TEST(Matcher, RejectsWhenIntermediateEscapes) {
+  // A second consumer of the conv's int32 output outside the chain makes
+  // the match non-extractable.
+  GraphBuilder b(1);
+  NodeId x = b.Input("x", Shape{1, 4, 4, 4});
+  ConvSpec spec;
+  spec.out_channels = 4;
+  spec = WithSamePadding(spec, 4, 4);
+  NodeId out = b.ConvBlock(x, spec, "c");
+  Graph& g = b.graph();
+  // Find the conv node and attach an escaping consumer.
+  NodeId conv = kInvalidNode;
+  for (const Node& n : g.nodes()) {
+    if (n.IsOp("nn.conv2d")) conv = n.id;
+  }
+  NodeId escape = g.AddOp("nn.relu", {conv});
+  NodeId escape8 =
+      g.AddOp("cast", {escape}, AttrMap{{"dtype", std::string("int8")}});
+  NodeId both = g.AddOp("add", {out, escape8});
+  Graph graph = b.Finish(both);
+
+  MatchResult m;
+  EXPECT_FALSE(
+      MatchAt(graph, out, ConvChainPattern(), graph.UseCounts(), &m));
+}
+
+TEST(Matcher, AttrConstraintFiltersCastDtype) {
+  // A chain casting to int32 (wrong dtype) must not match.
+  Graph g;
+  NodeId in = g.AddInput("x", {Shape{1, 4, 4, 4}, DType::kInt8});
+  Rng rng(1);
+  NodeId w =
+      g.AddConstant(Tensor::Random(Shape{4, 4, 1, 1}, DType::kInt8, rng));
+  NodeId conv = g.AddOp("nn.conv2d", {in, w});
+  NodeId bias =
+      g.AddOp("nn.bias_add",
+              {conv, g.AddConstant(Tensor::FromInt32(
+                         Shape{4}, {0, 0, 0, 0}))},
+              AttrMap{{"axis", i64{1}}});
+  NodeId sh = g.AddOp(
+      "right_shift", {bias, g.AddConstant(Tensor::FromInt32(Shape{1}, {4}))});
+  NodeId cl = g.AddOp("clip", {sh},
+                      AttrMap{{"a_min", i64{-128}}, {"a_max", i64{127}}});
+  NodeId cast =
+      g.AddOp("cast", {cl}, AttrMap{{"dtype", std::string("int32")}});
+  g.SetOutputs({cast});
+  MatchResult m;
+  EXPECT_FALSE(MatchAt(g, cast, ConvChainPattern(), g.UseCounts(), &m));
+}
+
+TEST(Matcher, AddChainMatchesResidual) {
+  GraphBuilder b(1);
+  NodeId a = b.Input("a", Shape{1, 4, 4, 4});
+  NodeId c = b.Input("c", Shape{1, 4, 4, 4});
+  NodeId out = b.AddBlock(a, c, /*relu=*/true, /*shift=*/0);
+  Graph g = b.Finish(out);
+  MatchResult m;
+  ASSERT_TRUE(MatchAt(g, out, AddChainPattern(), g.UseCounts(), &m));
+  EXPECT_EQ(m.external_inputs.size(), 2u);
+  EXPECT_EQ(m.at(g, "anchor").op, "add");
+}
+
+TEST(Rewriter, PartitionCollapsesChainIntoComposite) {
+  Graph g = ConvChainGraph(true);
+  const auto accept = [](const Graph&, const MatchResult&, AttrMap* attrs) {
+    attrs->Set("target", std::string("digital"));
+    return true;
+  };
+  Graph p = PartitionGraph(g, {{"diana.conv2d", ConvChainPattern(), accept, 0}});
+  i64 composites = 0;
+  for (const Node& n : p.nodes()) {
+    if (n.kind == NodeKind::kComposite) {
+      ++composites;
+      EXPECT_EQ(n.op, "diana.conv2d");
+      EXPECT_EQ(n.attrs.GetString("target"), "digital");
+      EXPECT_EQ(n.attrs.GetString("composite"), "diana.conv2d");
+      EXPECT_TRUE(n.body->Validate().ok());
+    }
+    EXPECT_NE(n.kind, NodeKind::kOp);  // everything got fused
+  }
+  EXPECT_EQ(composites, 1);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(Rewriter, PartitionPreservesSemantics) {
+  Graph g = ConvChainGraph(true);
+  const auto accept = [](const Graph&, const MatchResult&, AttrMap* attrs) {
+    attrs->Set("target", std::string("cpu"));
+    return true;
+  };
+  Graph p = PartitionGraph(g, {{"fused", ConvChainPattern(), accept, 0}});
+  Rng rng(9);
+  const Tensor input = Tensor::Random(Shape{1, 8, 8, 8}, DType::kInt8, rng);
+  auto ref = nn::RunGraph(g, std::vector<Tensor>{input});
+  auto part = nn::RunGraph(p, std::vector<Tensor>{input});
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  EXPECT_TRUE(ref.value()[0].SameAs(part.value()[0]));
+}
+
+TEST(Rewriter, RejectedPredicateLeavesOpsForCpu) {
+  Graph g = ConvChainGraph(true);
+  const auto reject = [](const Graph&, const MatchResult&, AttrMap*) {
+    return false;
+  };
+  Graph p = PartitionGraph(g, {{"diana.conv2d", ConvChainPattern(), reject, 0}});
+  i64 composites = 0;
+  for (const Node& n : p.nodes()) {
+    if (n.kind == NodeKind::kComposite) ++composites;
+  }
+  EXPECT_EQ(composites, 0);
+}
+
+TEST(Rewriter, TwoChainsBothMatched) {
+  GraphBuilder b(2);
+  NodeId x = b.Input("x", Shape{1, 8, 8, 8});
+  ConvSpec spec;
+  spec.out_channels = 8;
+  spec = WithSamePadding(spec, 8, 8);
+  NodeId y = b.ConvBlock(x, spec, "c1");
+  NodeId z = b.ConvBlock(y, spec, "c2");
+  Graph g = b.Finish(z);
+  const auto accept = [](const Graph&, const MatchResult&, AttrMap* attrs) {
+    attrs->Set("target", std::string("digital"));
+    return true;
+  };
+  Graph p = PartitionGraph(g, {{"diana.conv2d", ConvChainPattern(), accept, 0}});
+  i64 composites = 0;
+  for (const Node& n : p.nodes()) {
+    if (n.kind == NodeKind::kComposite) ++composites;
+  }
+  EXPECT_EQ(composites, 2);
+}
+
+TEST(Pattern, ToStringRendersStructure) {
+  const std::string s = PatternToString(ConvChainPattern());
+  EXPECT_NE(s.find("nn.conv2d"), std::string::npos);
+  EXPECT_NE(s.find("clip?"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htvm

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "models/layer_zoo.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "nn/interpreter.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/verify.hpp"
+
+namespace htvm::runtime {
+namespace {
+
+using compiler::CompileOptions;
+using compiler::HtvmCompiler;
+
+TEST(Executor, DigitalConvBitExactVsReference) {
+  models::ConvLayerParams p;
+  p.c = 16;
+  p.k = 16;
+  Graph g = models::MakeConvLayerGraph(p);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(g);
+  ASSERT_TRUE(art.ok());
+  Rng rng(1);
+  const Tensor input = Tensor::Random(Shape{1, 16, 32, 32}, DType::kInt8, rng);
+  auto report = VerifyArtifact(*art, g, std::vector<Tensor>{input});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->bit_exact);
+}
+
+TEST(Executor, TiledSimulationMatchesInterpreterPath) {
+  models::ConvLayerParams p;
+  p.c = 32;
+  p.k = 32;
+  p.iy = p.ix = 24;
+  CompileOptions opt = CompileOptions::DigitalOnly();
+  opt.tiler.l1_budget_bytes = 4 * 1024;  // force real tiling
+  Graph g = models::MakeConvLayerGraph(p);
+  auto art = HtvmCompiler{opt}.Compile(g);
+  ASSERT_TRUE(art.ok());
+  ASSERT_GT(art->kernels[0].schedule->steps.size(), 1u);
+
+  Rng rng(2);
+  const Tensor input = Tensor::Random(Shape{1, 32, 24, 24}, DType::kInt8, rng);
+  Executor fast(&*art, {.simulate_tiles = false});
+  Executor tiled(&*art, {.simulate_tiles = true});
+  auto a = fast.Run(std::vector<Tensor>{input});
+  auto b = tiled.Run(std::vector<Tensor>{input});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->outputs[0].SameAs(b->outputs[0]));
+}
+
+TEST(Executor, AnalogDiffersButBounded) {
+  models::ConvLayerParams p;
+  p.weight_dtype = DType::kTernary;
+  Graph g = models::MakeConvLayerGraph(p);
+  auto art = HtvmCompiler{CompileOptions::AnalogOnly()}.Compile(g);
+  ASSERT_TRUE(art.ok());
+  Rng rng(3);
+  const Tensor input = Tensor::Random(Shape{1, 16, 32, 32}, DType::kInt8, rng);
+  auto report = VerifyArtifact(*art, g, std::vector<Tensor>{input});
+  ASSERT_TRUE(report.ok());
+  // 7-bit input clamping makes analog execution approximate.
+  EXPECT_FALSE(report->bit_exact);
+  EXPECT_GT(report->total_elements, 0);
+}
+
+TEST(Executor, OomArtifactRefusesToRun) {
+  Graph net = models::BuildMobileNetV1(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::PlainTvm()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  ASSERT_FALSE(art->memory_plan.fits);
+  Executor ex(&*art);
+  Rng rng(4);
+  const Tensor input = Tensor::Random(Shape{1, 3, 96, 96}, DType::kInt8, rng);
+  auto result = ex.Run(std::vector<Tensor>{input});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Executor, LatencyMatchesArtifactTotals) {
+  Graph net = models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  Executor ex(&*art);
+  Rng rng(5);
+  const Tensor input = Tensor::Random(Shape{1, 640}, DType::kInt8, rng);
+  auto result = ex.Run(std::vector<Tensor>{input});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_cycles, art->TotalFullCycles());
+  EXPECT_GT(result->latency_ms, 0.0);
+  EXPECT_EQ(result->profile.kernels.size(), art->kernels.size());
+}
+
+TEST(Executor, EndToEndResNetDigitalBitExact) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  Rng rng(6);
+  const Tensor input = Tensor::Random(Shape{1, 3, 32, 32}, DType::kInt8, rng);
+  auto report = VerifyArtifact(*art, net, std::vector<Tensor>{input});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->bit_exact) << report->mismatched_elements << " of "
+                                 << report->total_elements << " differ";
+}
+
+TEST(Executor, EndToEndResNetTiledSimulationBitExact) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  Rng rng(7);
+  const Tensor input = Tensor::Random(Shape{1, 3, 32, 32}, DType::kInt8, rng);
+  auto report = VerifyArtifact(*art, net, std::vector<Tensor>{input},
+                               /*simulate_tiles=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->bit_exact);
+}
+
+TEST(Executor, InputCountMismatchRejected) {
+  Graph net = models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8);
+  auto art = HtvmCompiler{CompileOptions::DigitalOnly()}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  Executor ex(&*art);
+  auto result = ex.Run(std::vector<Tensor>{});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace htvm::runtime

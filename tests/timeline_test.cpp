@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "runtime/timeline.hpp"
+
+namespace htvm::runtime {
+namespace {
+
+TEST(Timeline, SequentialNonOverlapping) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kMixed);
+  auto art = compiler::HtvmCompiler{compiler::CompileOptions{}}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  const Timeline tl = BuildTimeline(*art);
+  ASSERT_EQ(tl.entries.size(), art->kernels.size());
+  i64 prev_end = 0;
+  for (const auto& e : tl.entries) {
+    EXPECT_EQ(e.start_cycle, prev_end);  // Fig. 2: strictly sequential
+    EXPECT_GT(e.end_cycle, e.start_cycle);
+    prev_end = e.end_cycle;
+  }
+  EXPECT_EQ(tl.total_cycles, art->TotalFullCycles());
+}
+
+TEST(Timeline, UsesAllThreeEnginesForMixedResNet) {
+  Graph net = models::BuildResNet8(models::PrecisionPolicy::kMixed);
+  auto art = compiler::HtvmCompiler{compiler::CompileOptions{}}.Compile(net);
+  ASSERT_TRUE(art.ok());
+  const Timeline tl = BuildTimeline(*art);
+  bool cpu = false, digital = false, analog = false;
+  for (const auto& e : tl.entries) {
+    cpu |= e.target == "cpu";
+    digital |= e.target == "digital";
+    analog |= e.target == "analog";
+  }
+  EXPECT_TRUE(cpu && digital && analog);
+}
+
+TEST(Timeline, RenderShowsLanes) {
+  Graph net = models::BuildDsCnn(models::PrecisionPolicy::kInt8);
+  auto art =
+      compiler::HtvmCompiler{compiler::CompileOptions::DigitalOnly()}.Compile(
+          net);
+  ASSERT_TRUE(art.ok());
+  const std::string render = BuildTimeline(*art).Render();
+  EXPECT_NE(render.find("cpu"), std::string::npos);
+  EXPECT_NE(render.find("digital"), std::string::npos);
+  EXPECT_NE(render.find("D"), std::string::npos);
+  EXPECT_NE(render.find("timeline:"), std::string::npos);
+}
+
+TEST(Timeline, EmptyArtifactRenders) {
+  compiler::Artifact empty;
+  const Timeline tl = BuildTimeline(empty);
+  EXPECT_EQ(tl.total_cycles, 0);
+  EXPECT_NE(tl.Render().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htvm::runtime

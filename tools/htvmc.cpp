@@ -1,0 +1,225 @@
+// htvmc — command-line front end of the HTVM reproduction.
+//
+// Compiles a network (a built-in MLPerf Tiny model or a serialized
+// .htvm graph file) for a DIANA configuration and reports/emits the
+// results: per-kernel profile, timeline, energy estimate, DOT graph,
+// deployable C sources.
+//
+//   htvmc --model resnet --config mixed --report
+//   htvmc --graph net.htvm --config digital --emit-dir out/
+//   htvmc --model dscnn --config analog --dot graph.dot --timeline
+//   htvmc --help
+#include <cstdio>
+#include <cstring>
+#include <cctype>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "compiler/emit.hpp"
+#include "compiler/pipeline.hpp"
+#include "ir/dot.hpp"
+#include "ir/serialize.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "runtime/energy.hpp"
+#include "runtime/timeline.hpp"
+#include "support/string_utils.hpp"
+
+using namespace htvm;
+
+namespace {
+
+struct CliOptions {
+  std::string model;       // builtin model name
+  std::string graph_path;  // serialized graph file
+  std::string config = "mixed";
+  std::string emit_dir;
+  std::string dot_path;
+  i64 l1_kb = -1;
+  bool report = false;
+  bool timeline = false;
+  bool energy = false;
+  bool tuned_cpu = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(htvmc — HTVM (reproduction) compiler driver
+
+input (one of):
+  --model <dscnn|mobilenet|resnet|toyadmos>   built-in MLPerf Tiny model
+  --graph <file.htvm>                         serialized graph (ir/serialize)
+
+options:
+  --config <tvm|digital|analog|mixed>         deployment configuration
+  --tuned-cpu                                 enable the hand-tuned CPU
+                                              kernel library BYOC target
+  --l1 <kB>                                   override the L1 tiling budget
+  --report                                    per-kernel profile table
+  --timeline                                  Fig. 2-style execution timeline
+  --energy                                    energy estimate
+  --dot <file.dot>                            partitioned graph as Graphviz
+  --emit-dir <dir>                            write deployable C sources
+  --help                                      this text
+)");
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(arg + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--model") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.model = v;
+    } else if (arg == "--graph") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.graph_path = v;
+    } else if (arg == "--config") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.config = v;
+    } else if (arg == "--emit-dir") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.emit_dir = v;
+    } else if (arg == "--dot") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.dot_path = v;
+    } else if (arg == "--l1") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.l1_kb = std::atoll(v.c_str());
+      if (opt.l1_kb <= 0) return Status::InvalidArgument("bad --l1 value");
+    } else if (arg == "--report") {
+      opt.report = true;
+    } else if (arg == "--timeline") {
+      opt.timeline = true;
+    } else if (arg == "--energy") {
+      opt.energy = true;
+    } else if (arg == "--tuned-cpu") {
+      opt.tuned_cpu = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return opt;
+}
+
+Result<Graph> LoadNetwork(const CliOptions& opt,
+                          models::PrecisionPolicy policy) {
+  if (!opt.graph_path.empty()) {
+    return LoadGraph(opt.graph_path);
+  }
+  for (const auto& model : models::MlperfTinySuite()) {
+    std::string lower = model.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == opt.model ||
+        (opt.model == "mobilenet" && lower == "mobilenet")) {
+      return model.build(policy);
+    }
+  }
+  if (opt.model == "dscnn") return models::BuildDsCnn(policy);
+  return Status::NotFound("unknown model '" + opt.model +
+                          "' (and no --graph given)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "htvmc: %s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const CliOptions opt = *parsed;
+  if (opt.help || (opt.model.empty() && opt.graph_path.empty())) {
+    PrintUsage();
+    return opt.help ? 0 : 2;
+  }
+
+  compiler::CompileOptions options;
+  models::PrecisionPolicy policy = models::PrecisionPolicy::kMixed;
+  if (opt.config == "tvm") {
+    options = compiler::CompileOptions::PlainTvm();
+    policy = models::PrecisionPolicy::kInt8;
+  } else if (opt.config == "digital") {
+    options = compiler::CompileOptions::DigitalOnly();
+    policy = models::PrecisionPolicy::kInt8;
+  } else if (opt.config == "analog") {
+    options = compiler::CompileOptions::AnalogOnly();
+    policy = models::PrecisionPolicy::kTernary;
+  } else if (opt.config == "mixed") {
+    policy = models::PrecisionPolicy::kMixed;
+  } else {
+    std::fprintf(stderr, "htvmc: unknown --config '%s'\n",
+                 opt.config.c_str());
+    return 2;
+  }
+  options.dispatch.enable_tuned_cpu_library = opt.tuned_cpu;
+  if (opt.l1_kb > 0) options.tiler.l1_budget_bytes = opt.l1_kb * 1024;
+
+  auto network = LoadNetwork(opt, policy);
+  if (!network.ok()) {
+    std::fprintf(stderr, "htvmc: %s\n", network.status().ToString().c_str());
+    return 1;
+  }
+
+  auto artifact = compiler::HtvmCompiler{options}.Compile(*network);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "htvmc: compile failed: %s\n",
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu kernels | %.3f ms full (%.3f ms peak) | %s | L2 %s\n",
+              artifact->kernels.size(), artifact->LatencyMs(),
+              artifact->PeakLatencyMs(), artifact->size.ToString().c_str(),
+              artifact->memory_plan.fits ? "fits" : "OUT OF MEMORY");
+
+  if (opt.report) {
+    std::printf("\n%s", artifact->Profile().ToTable().c_str());
+    if (!artifact->dispatch_log.empty()) {
+      std::printf("\ndispatch decisions:\n");
+      for (const auto& d : artifact->dispatch_log) {
+        std::printf("  %-14s %-38s -> %-8s %s\n", d.pattern.c_str(),
+                    d.layer.c_str(), d.target.c_str(), d.reason.c_str());
+      }
+    }
+  }
+  if (opt.timeline) {
+    std::printf("\n%s", runtime::BuildTimeline(*artifact).Render().c_str());
+  }
+  if (opt.energy) {
+    const auto energy = runtime::EstimateEnergy(*artifact);
+    std::printf("\n%s\n", energy.ToString().c_str());
+    std::printf("effective efficiency: %.2f TOPS/W\n",
+                energy.TopsPerWatt(artifact->Profile().TotalMacs(),
+                                   artifact->hw_config.freq_mhz));
+  }
+  if (!opt.dot_path.empty()) {
+    std::ofstream out(opt.dot_path);
+    out << GraphToDot(artifact->kernel_graph);
+    std::printf("wrote %s\n", opt.dot_path.c_str());
+  }
+  if (!opt.emit_dir.empty()) {
+    auto emitted = compiler::EmitArtifactC(
+        *artifact, opt.model.empty() ? "network" : opt.model);
+    if (!emitted.ok()) {
+      std::fprintf(stderr, "htvmc: emission failed: %s\n",
+                   emitted.status().ToString().c_str());
+      return 1;
+    }
+    ::mkdir(opt.emit_dir.c_str(), 0755);
+    if (auto status = emitted->WriteTo(opt.emit_dir); !status.ok()) {
+      std::fprintf(stderr, "htvmc: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("emitted %zu files to %s\n", emitted->files.size(),
+                opt.emit_dir.c_str());
+  }
+  return 0;
+}
