@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dory.dir/bench_ablation_dory.cpp.o"
+  "CMakeFiles/bench_ablation_dory.dir/bench_ablation_dory.cpp.o.d"
+  "bench_ablation_dory"
+  "bench_ablation_dory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depth_first.dir/bench_depth_first.cpp.o"
+  "CMakeFiles/bench_depth_first.dir/bench_depth_first.cpp.o.d"
+  "bench_depth_first"
+  "bench_depth_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tiling.dir/bench_fig4_tiling.cpp.o"
+  "CMakeFiles/bench_fig4_tiling.dir/bench_fig4_tiling.cpp.o.d"
+  "bench_fig4_tiling"
+  "bench_fig4_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mlperf.dir/bench_table1_mlperf.cpp.o"
+  "CMakeFiles/bench_table1_mlperf.dir/bench_table1_mlperf.cpp.o.d"
+  "bench_table1_mlperf"
+  "bench_table1_mlperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mlperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

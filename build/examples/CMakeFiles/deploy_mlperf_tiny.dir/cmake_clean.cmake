@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_mlperf_tiny.dir/deploy_mlperf_tiny.cpp.o"
+  "CMakeFiles/deploy_mlperf_tiny.dir/deploy_mlperf_tiny.cpp.o.d"
+  "deploy_mlperf_tiny"
+  "deploy_mlperf_tiny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_mlperf_tiny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

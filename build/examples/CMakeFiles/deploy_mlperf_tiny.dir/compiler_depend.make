@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deploy_mlperf_tiny.
+# This may be replaced when dependencies are built.

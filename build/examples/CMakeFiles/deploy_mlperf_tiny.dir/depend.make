@@ -1,0 +1,2 @@
+# Empty dependencies file for deploy_mlperf_tiny.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_c_code.dir/export_c_code.cpp.o"
+  "CMakeFiles/export_c_code.dir/export_c_code.cpp.o.d"
+  "export_c_code"
+  "export_c_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_c_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kws_streaming.dir/kws_streaming.cpp.o"
+  "CMakeFiles/kws_streaming.dir/kws_streaming.cpp.o.d"
+  "kws_streaming"
+  "kws_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kws_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_new_platform.dir/port_new_platform.cpp.o"
+  "CMakeFiles/port_new_platform.dir/port_new_platform.cpp.o.d"
+  "port_new_platform"
+  "port_new_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_new_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_explorer.dir/tiling_explorer.cpp.o"
+  "CMakeFiles/tiling_explorer.dir/tiling_explorer.cpp.o.d"
+  "tiling_explorer"
+  "tiling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tensor")
+subdirs("ir")
+subdirs("pattern")
+subdirs("nn")
+subdirs("hw")
+subdirs("dory")
+subdirs("tvmgen")
+subdirs("compiler")
+subdirs("runtime")
+subdirs("models")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/accel_spec.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/accel_spec.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/accel_spec.cpp.o.d"
+  "/root/repo/src/compiler/artifact.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/artifact.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/artifact.cpp.o.d"
+  "/root/repo/src/compiler/c_runtime_header.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/c_runtime_header.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/c_runtime_header.cpp.o.d"
+  "/root/repo/src/compiler/dispatch.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/dispatch.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/dispatch.cpp.o.d"
+  "/root/repo/src/compiler/emit.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/emit.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/emit.cpp.o.d"
+  "/root/repo/src/compiler/memory_planner.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/memory_planner.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/memory_planner.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "src/compiler/CMakeFiles/htvm_compiler.dir/pipeline.cpp.o" "gcc" "src/compiler/CMakeFiles/htvm_compiler.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tvmgen/CMakeFiles/htvm_tvmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dory/CMakeFiles/htvm_dory.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/htvm_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/htvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/htvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/compiler/CMakeFiles/htvm_compiler.dir/c_runtime_header.cpp.o: \
+ /root/repo/src/compiler/c_runtime_header.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/compiler/c_runtime_header.hpp

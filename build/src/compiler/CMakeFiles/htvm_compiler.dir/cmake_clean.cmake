@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_compiler.dir/accel_spec.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/accel_spec.cpp.o.d"
+  "CMakeFiles/htvm_compiler.dir/artifact.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/artifact.cpp.o.d"
+  "CMakeFiles/htvm_compiler.dir/c_runtime_header.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/c_runtime_header.cpp.o.d"
+  "CMakeFiles/htvm_compiler.dir/dispatch.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/dispatch.cpp.o.d"
+  "CMakeFiles/htvm_compiler.dir/emit.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/emit.cpp.o.d"
+  "CMakeFiles/htvm_compiler.dir/memory_planner.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/memory_planner.cpp.o.d"
+  "CMakeFiles/htvm_compiler.dir/pipeline.cpp.o"
+  "CMakeFiles/htvm_compiler.dir/pipeline.cpp.o.d"
+  "libhtvm_compiler.a"
+  "libhtvm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dory/c_codegen.cpp" "src/dory/CMakeFiles/htvm_dory.dir/c_codegen.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/c_codegen.cpp.o.d"
+  "/root/repo/src/dory/depth_first.cpp" "src/dory/CMakeFiles/htvm_dory.dir/depth_first.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/depth_first.cpp.o.d"
+  "/root/repo/src/dory/layer_spec.cpp" "src/dory/CMakeFiles/htvm_dory.dir/layer_spec.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/layer_spec.cpp.o.d"
+  "/root/repo/src/dory/schedule.cpp" "src/dory/CMakeFiles/htvm_dory.dir/schedule.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/schedule.cpp.o.d"
+  "/root/repo/src/dory/tiled_exec.cpp" "src/dory/CMakeFiles/htvm_dory.dir/tiled_exec.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/tiled_exec.cpp.o.d"
+  "/root/repo/src/dory/tiler.cpp" "src/dory/CMakeFiles/htvm_dory.dir/tiler.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/tiler.cpp.o.d"
+  "/root/repo/src/dory/weight_layout.cpp" "src/dory/CMakeFiles/htvm_dory.dir/weight_layout.cpp.o" "gcc" "src/dory/CMakeFiles/htvm_dory.dir/weight_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/htvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/htvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_dory.dir/c_codegen.cpp.o"
+  "CMakeFiles/htvm_dory.dir/c_codegen.cpp.o.d"
+  "CMakeFiles/htvm_dory.dir/depth_first.cpp.o"
+  "CMakeFiles/htvm_dory.dir/depth_first.cpp.o.d"
+  "CMakeFiles/htvm_dory.dir/layer_spec.cpp.o"
+  "CMakeFiles/htvm_dory.dir/layer_spec.cpp.o.d"
+  "CMakeFiles/htvm_dory.dir/schedule.cpp.o"
+  "CMakeFiles/htvm_dory.dir/schedule.cpp.o.d"
+  "CMakeFiles/htvm_dory.dir/tiled_exec.cpp.o"
+  "CMakeFiles/htvm_dory.dir/tiled_exec.cpp.o.d"
+  "CMakeFiles/htvm_dory.dir/tiler.cpp.o"
+  "CMakeFiles/htvm_dory.dir/tiler.cpp.o.d"
+  "CMakeFiles/htvm_dory.dir/weight_layout.cpp.o"
+  "CMakeFiles/htvm_dory.dir/weight_layout.cpp.o.d"
+  "libhtvm_dory.a"
+  "libhtvm_dory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_dory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

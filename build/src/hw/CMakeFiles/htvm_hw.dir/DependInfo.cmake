@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/analog_accel.cpp" "src/hw/CMakeFiles/htvm_hw.dir/analog_accel.cpp.o" "gcc" "src/hw/CMakeFiles/htvm_hw.dir/analog_accel.cpp.o.d"
+  "/root/repo/src/hw/cpu.cpp" "src/hw/CMakeFiles/htvm_hw.dir/cpu.cpp.o" "gcc" "src/hw/CMakeFiles/htvm_hw.dir/cpu.cpp.o.d"
+  "/root/repo/src/hw/digital_accel.cpp" "src/hw/CMakeFiles/htvm_hw.dir/digital_accel.cpp.o" "gcc" "src/hw/CMakeFiles/htvm_hw.dir/digital_accel.cpp.o.d"
+  "/root/repo/src/hw/dma.cpp" "src/hw/CMakeFiles/htvm_hw.dir/dma.cpp.o" "gcc" "src/hw/CMakeFiles/htvm_hw.dir/dma.cpp.o.d"
+  "/root/repo/src/hw/perf.cpp" "src/hw/CMakeFiles/htvm_hw.dir/perf.cpp.o" "gcc" "src/hw/CMakeFiles/htvm_hw.dir/perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_hw.dir/analog_accel.cpp.o"
+  "CMakeFiles/htvm_hw.dir/analog_accel.cpp.o.d"
+  "CMakeFiles/htvm_hw.dir/cpu.cpp.o"
+  "CMakeFiles/htvm_hw.dir/cpu.cpp.o.d"
+  "CMakeFiles/htvm_hw.dir/digital_accel.cpp.o"
+  "CMakeFiles/htvm_hw.dir/digital_accel.cpp.o.d"
+  "CMakeFiles/htvm_hw.dir/dma.cpp.o"
+  "CMakeFiles/htvm_hw.dir/dma.cpp.o.d"
+  "CMakeFiles/htvm_hw.dir/perf.cpp.o"
+  "CMakeFiles/htvm_hw.dir/perf.cpp.o.d"
+  "libhtvm_hw.a"
+  "libhtvm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/attrs.cpp" "src/ir/CMakeFiles/htvm_ir.dir/attrs.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/attrs.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/htvm_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/dot.cpp" "src/ir/CMakeFiles/htvm_ir.dir/dot.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/dot.cpp.o.d"
+  "/root/repo/src/ir/graph.cpp" "src/ir/CMakeFiles/htvm_ir.dir/graph.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/graph.cpp.o.d"
+  "/root/repo/src/ir/op.cpp" "src/ir/CMakeFiles/htvm_ir.dir/op.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/op.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/ir/CMakeFiles/htvm_ir.dir/passes.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/passes.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "src/ir/CMakeFiles/htvm_ir.dir/serialize.cpp.o" "gcc" "src/ir/CMakeFiles/htvm_ir.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_ir.dir/attrs.cpp.o"
+  "CMakeFiles/htvm_ir.dir/attrs.cpp.o.d"
+  "CMakeFiles/htvm_ir.dir/builder.cpp.o"
+  "CMakeFiles/htvm_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/htvm_ir.dir/dot.cpp.o"
+  "CMakeFiles/htvm_ir.dir/dot.cpp.o.d"
+  "CMakeFiles/htvm_ir.dir/graph.cpp.o"
+  "CMakeFiles/htvm_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/htvm_ir.dir/op.cpp.o"
+  "CMakeFiles/htvm_ir.dir/op.cpp.o.d"
+  "CMakeFiles/htvm_ir.dir/passes.cpp.o"
+  "CMakeFiles/htvm_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/htvm_ir.dir/serialize.cpp.o"
+  "CMakeFiles/htvm_ir.dir/serialize.cpp.o.d"
+  "libhtvm_ir.a"
+  "libhtvm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

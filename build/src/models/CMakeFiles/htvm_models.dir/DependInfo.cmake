@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dscnn.cpp" "src/models/CMakeFiles/htvm_models.dir/dscnn.cpp.o" "gcc" "src/models/CMakeFiles/htvm_models.dir/dscnn.cpp.o.d"
+  "/root/repo/src/models/layer_zoo.cpp" "src/models/CMakeFiles/htvm_models.dir/layer_zoo.cpp.o" "gcc" "src/models/CMakeFiles/htvm_models.dir/layer_zoo.cpp.o.d"
+  "/root/repo/src/models/mobilenet.cpp" "src/models/CMakeFiles/htvm_models.dir/mobilenet.cpp.o" "gcc" "src/models/CMakeFiles/htvm_models.dir/mobilenet.cpp.o.d"
+  "/root/repo/src/models/precision.cpp" "src/models/CMakeFiles/htvm_models.dir/precision.cpp.o" "gcc" "src/models/CMakeFiles/htvm_models.dir/precision.cpp.o.d"
+  "/root/repo/src/models/resnet8.cpp" "src/models/CMakeFiles/htvm_models.dir/resnet8.cpp.o" "gcc" "src/models/CMakeFiles/htvm_models.dir/resnet8.cpp.o.d"
+  "/root/repo/src/models/toyadmos.cpp" "src/models/CMakeFiles/htvm_models.dir/toyadmos.cpp.o" "gcc" "src/models/CMakeFiles/htvm_models.dir/toyadmos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dory/CMakeFiles/htvm_dory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/htvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/htvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

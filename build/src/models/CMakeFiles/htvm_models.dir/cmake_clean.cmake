@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_models.dir/dscnn.cpp.o"
+  "CMakeFiles/htvm_models.dir/dscnn.cpp.o.d"
+  "CMakeFiles/htvm_models.dir/layer_zoo.cpp.o"
+  "CMakeFiles/htvm_models.dir/layer_zoo.cpp.o.d"
+  "CMakeFiles/htvm_models.dir/mobilenet.cpp.o"
+  "CMakeFiles/htvm_models.dir/mobilenet.cpp.o.d"
+  "CMakeFiles/htvm_models.dir/precision.cpp.o"
+  "CMakeFiles/htvm_models.dir/precision.cpp.o.d"
+  "CMakeFiles/htvm_models.dir/resnet8.cpp.o"
+  "CMakeFiles/htvm_models.dir/resnet8.cpp.o.d"
+  "CMakeFiles/htvm_models.dir/toyadmos.cpp.o"
+  "CMakeFiles/htvm_models.dir/toyadmos.cpp.o.d"
+  "libhtvm_models.a"
+  "libhtvm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

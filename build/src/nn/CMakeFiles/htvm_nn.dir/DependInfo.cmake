@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/htvm_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/htvm_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/elementwise.cpp" "src/nn/CMakeFiles/htvm_nn.dir/elementwise.cpp.o" "gcc" "src/nn/CMakeFiles/htvm_nn.dir/elementwise.cpp.o.d"
+  "/root/repo/src/nn/interpreter.cpp" "src/nn/CMakeFiles/htvm_nn.dir/interpreter.cpp.o" "gcc" "src/nn/CMakeFiles/htvm_nn.dir/interpreter.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/htvm_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/htvm_nn.dir/pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_nn.dir/conv.cpp.o"
+  "CMakeFiles/htvm_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/htvm_nn.dir/elementwise.cpp.o"
+  "CMakeFiles/htvm_nn.dir/elementwise.cpp.o.d"
+  "CMakeFiles/htvm_nn.dir/interpreter.cpp.o"
+  "CMakeFiles/htvm_nn.dir/interpreter.cpp.o.d"
+  "CMakeFiles/htvm_nn.dir/pooling.cpp.o"
+  "CMakeFiles/htvm_nn.dir/pooling.cpp.o.d"
+  "libhtvm_nn.a"
+  "libhtvm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

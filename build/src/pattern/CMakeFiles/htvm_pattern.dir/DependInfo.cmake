@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/matcher.cpp" "src/pattern/CMakeFiles/htvm_pattern.dir/matcher.cpp.o" "gcc" "src/pattern/CMakeFiles/htvm_pattern.dir/matcher.cpp.o.d"
+  "/root/repo/src/pattern/pattern.cpp" "src/pattern/CMakeFiles/htvm_pattern.dir/pattern.cpp.o" "gcc" "src/pattern/CMakeFiles/htvm_pattern.dir/pattern.cpp.o.d"
+  "/root/repo/src/pattern/rewriter.cpp" "src/pattern/CMakeFiles/htvm_pattern.dir/rewriter.cpp.o" "gcc" "src/pattern/CMakeFiles/htvm_pattern.dir/rewriter.cpp.o.d"
+  "/root/repo/src/pattern/std_patterns.cpp" "src/pattern/CMakeFiles/htvm_pattern.dir/std_patterns.cpp.o" "gcc" "src/pattern/CMakeFiles/htvm_pattern.dir/std_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

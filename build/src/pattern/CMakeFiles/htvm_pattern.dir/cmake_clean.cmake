@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_pattern.dir/matcher.cpp.o"
+  "CMakeFiles/htvm_pattern.dir/matcher.cpp.o.d"
+  "CMakeFiles/htvm_pattern.dir/pattern.cpp.o"
+  "CMakeFiles/htvm_pattern.dir/pattern.cpp.o.d"
+  "CMakeFiles/htvm_pattern.dir/rewriter.cpp.o"
+  "CMakeFiles/htvm_pattern.dir/rewriter.cpp.o.d"
+  "CMakeFiles/htvm_pattern.dir/std_patterns.cpp.o"
+  "CMakeFiles/htvm_pattern.dir/std_patterns.cpp.o.d"
+  "libhtvm_pattern.a"
+  "libhtvm_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

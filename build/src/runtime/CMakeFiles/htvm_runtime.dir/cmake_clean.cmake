@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_runtime.dir/energy.cpp.o"
+  "CMakeFiles/htvm_runtime.dir/energy.cpp.o.d"
+  "CMakeFiles/htvm_runtime.dir/executor.cpp.o"
+  "CMakeFiles/htvm_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/htvm_runtime.dir/timeline.cpp.o"
+  "CMakeFiles/htvm_runtime.dir/timeline.cpp.o.d"
+  "CMakeFiles/htvm_runtime.dir/verify.cpp.o"
+  "CMakeFiles/htvm_runtime.dir/verify.cpp.o.d"
+  "libhtvm_runtime.a"
+  "libhtvm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

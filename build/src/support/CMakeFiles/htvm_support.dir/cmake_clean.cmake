@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_support.dir/common.cpp.o"
+  "CMakeFiles/htvm_support.dir/common.cpp.o.d"
+  "CMakeFiles/htvm_support.dir/logging.cpp.o"
+  "CMakeFiles/htvm_support.dir/logging.cpp.o.d"
+  "CMakeFiles/htvm_support.dir/math_utils.cpp.o"
+  "CMakeFiles/htvm_support.dir/math_utils.cpp.o.d"
+  "CMakeFiles/htvm_support.dir/rng.cpp.o"
+  "CMakeFiles/htvm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/htvm_support.dir/status.cpp.o"
+  "CMakeFiles/htvm_support.dir/status.cpp.o.d"
+  "CMakeFiles/htvm_support.dir/string_utils.cpp.o"
+  "CMakeFiles/htvm_support.dir/string_utils.cpp.o.d"
+  "libhtvm_support.a"
+  "libhtvm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/htvm_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/htvm_tensor.dir/quantize.cpp.o"
+  "CMakeFiles/htvm_tensor.dir/quantize.cpp.o.d"
+  "CMakeFiles/htvm_tensor.dir/shape.cpp.o"
+  "CMakeFiles/htvm_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/htvm_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/htvm_tensor.dir/tensor.cpp.o.d"
+  "libhtvm_tensor.a"
+  "libhtvm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

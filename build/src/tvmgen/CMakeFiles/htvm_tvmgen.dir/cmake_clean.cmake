@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvm_tvmgen.dir/binary_size.cpp.o"
+  "CMakeFiles/htvm_tvmgen.dir/binary_size.cpp.o.d"
+  "CMakeFiles/htvm_tvmgen.dir/c_codegen.cpp.o"
+  "CMakeFiles/htvm_tvmgen.dir/c_codegen.cpp.o.d"
+  "CMakeFiles/htvm_tvmgen.dir/cost_model.cpp.o"
+  "CMakeFiles/htvm_tvmgen.dir/cost_model.cpp.o.d"
+  "CMakeFiles/htvm_tvmgen.dir/fusion.cpp.o"
+  "CMakeFiles/htvm_tvmgen.dir/fusion.cpp.o.d"
+  "libhtvm_tvmgen.a"
+  "libhtvm_tvmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvm_tvmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

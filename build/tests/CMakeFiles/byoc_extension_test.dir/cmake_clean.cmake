@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byoc_extension_test.dir/byoc_extension_test.cpp.o"
+  "CMakeFiles/byoc_extension_test.dir/byoc_extension_test.cpp.o.d"
+  "byoc_extension_test"
+  "byoc_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byoc_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_codegen_test.dir/c_codegen_test.cpp.o"
+  "CMakeFiles/c_codegen_test.dir/c_codegen_test.cpp.o.d"
+  "c_codegen_test"
+  "c_codegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_dispatch_test.dir/compiler_dispatch_test.cpp.o"
+  "CMakeFiles/compiler_dispatch_test.dir/compiler_dispatch_test.cpp.o.d"
+  "compiler_dispatch_test"
+  "compiler_dispatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_pipeline_test.dir/compiler_pipeline_test.cpp.o"
+  "CMakeFiles/compiler_pipeline_test.dir/compiler_pipeline_test.cpp.o.d"
+  "compiler_pipeline_test"
+  "compiler_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_first_test.dir/depth_first_test.cpp.o"
+  "CMakeFiles/depth_first_test.dir/depth_first_test.cpp.o.d"
+  "depth_first_test"
+  "depth_first_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_first_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

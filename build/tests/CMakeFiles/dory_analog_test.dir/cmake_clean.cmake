@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dory_analog_test.dir/dory_analog_test.cpp.o"
+  "CMakeFiles/dory_analog_test.dir/dory_analog_test.cpp.o.d"
+  "dory_analog_test"
+  "dory_analog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dory_analog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

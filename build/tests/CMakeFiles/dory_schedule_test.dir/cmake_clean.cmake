@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dory_schedule_test.dir/dory_schedule_test.cpp.o"
+  "CMakeFiles/dory_schedule_test.dir/dory_schedule_test.cpp.o.d"
+  "dory_schedule_test"
+  "dory_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dory_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dory_tiled_exec_test.cpp" "tests/CMakeFiles/dory_tiled_exec_test.dir/dory_tiled_exec_test.cpp.o" "gcc" "tests/CMakeFiles/dory_tiled_exec_test.dir/dory_tiled_exec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/htvm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/htvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/htvm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvmgen/CMakeFiles/htvm_tvmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dory/CMakeFiles/htvm_dory.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/htvm_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/htvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/htvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/htvm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/htvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/htvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

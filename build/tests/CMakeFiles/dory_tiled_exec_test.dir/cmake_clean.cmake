@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dory_tiled_exec_test.dir/dory_tiled_exec_test.cpp.o"
+  "CMakeFiles/dory_tiled_exec_test.dir/dory_tiled_exec_test.cpp.o.d"
+  "dory_tiled_exec_test"
+  "dory_tiled_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dory_tiled_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dory_tiler_test.dir/dory_tiler_test.cpp.o"
+  "CMakeFiles/dory_tiler_test.dir/dory_tiler_test.cpp.o.d"
+  "dory_tiler_test"
+  "dory_tiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dory_tiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_dispatch_log_test.dir/dot_dispatch_log_test.cpp.o"
+  "CMakeFiles/dot_dispatch_log_test.dir/dot_dispatch_log_test.cpp.o.d"
+  "dot_dispatch_log_test"
+  "dot_dispatch_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_dispatch_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_passes_test.dir/ir_passes_test.cpp.o"
+  "CMakeFiles/ir_passes_test.dir/ir_passes_test.cpp.o.d"
+  "ir_passes_test"
+  "ir_passes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_passes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

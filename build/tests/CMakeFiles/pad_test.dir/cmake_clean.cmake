@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_test.dir/pad_test.cpp.o"
+  "CMakeFiles/pad_test.dir/pad_test.cpp.o.d"
+  "pad_test"
+  "pad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

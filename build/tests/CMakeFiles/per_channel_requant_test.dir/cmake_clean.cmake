@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_channel_requant_test.dir/per_channel_requant_test.cpp.o"
+  "CMakeFiles/per_channel_requant_test.dir/per_channel_requant_test.cpp.o.d"
+  "per_channel_requant_test"
+  "per_channel_requant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_channel_requant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

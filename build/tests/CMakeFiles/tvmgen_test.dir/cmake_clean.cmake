@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmgen_test.dir/tvmgen_test.cpp.o"
+  "CMakeFiles/tvmgen_test.dir/tvmgen_test.cpp.o.d"
+  "tvmgen_test"
+  "tvmgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_layout_test.dir/weight_layout_test.cpp.o"
+  "CMakeFiles/weight_layout_test.dir/weight_layout_test.cpp.o.d"
+  "weight_layout_test"
+  "weight_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htvmc.dir/htvmc.cpp.o"
+  "CMakeFiles/htvmc.dir/htvmc.cpp.o.d"
+  "htvmc"
+  "htvmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htvmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
