@@ -14,10 +14,12 @@ OpRegistry& OpRegistry::Global() {
 }
 
 void OpRegistry::Register(OpDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
   ops_[def.name] = std::move(def);
 }
 
 const OpDef* OpRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ops_.find(name);
   return it == ops_.end() ? nullptr : &it->second;
 }
@@ -210,25 +212,29 @@ Result<TensorType> InferFlatten(std::span<const TensorType> in,
 }  // namespace
 
 void RegisterCoreOps() {
-  static bool done = false;
-  if (done) return;
-  done = true;
-  auto& r = OpRegistry::Global();
-  r.Register({"nn.conv2d", 2, InferConv2d});
-  r.Register({"nn.dense", 2, InferDense});
-  r.Register({"nn.bias_add", 2, InferBiasAdd});
-  r.Register({"right_shift", 2, InferRightShift});
-  r.Register({"clip", 1, InferSameType});
-  r.Register({"cast", 1, InferCast});
-  r.Register({"nn.relu", 1, InferSameType});
-  r.Register({"add", 2, InferAdd});
-  r.Register({"nn.avg_pool2d", 1, InferPool2d});
-  r.Register({"nn.max_pool2d", 1, InferPool2d});
-  r.Register({"nn.global_avg_pool2d", 1, InferGlobalAvgPool});
-  r.Register({"nn.softmax", 1, InferSameType});
-  r.Register({"reshape", 1, InferReshape});
-  r.Register({"nn.flatten", 1, InferFlatten});
-  r.Register({"nn.pad", 1, InferPad});
+  // Magic-static initialization is thread-safe (C++11 [stmt.dcl]p4), unlike
+  // the naive `static bool done` flag this replaces: two threads building
+  // their first graph concurrently raced on the flag and on the registry map.
+  static const bool once = [] {
+    auto& r = OpRegistry::Global();
+    r.Register({"nn.conv2d", 2, InferConv2d});
+    r.Register({"nn.dense", 2, InferDense});
+    r.Register({"nn.bias_add", 2, InferBiasAdd});
+    r.Register({"right_shift", 2, InferRightShift});
+    r.Register({"clip", 1, InferSameType});
+    r.Register({"cast", 1, InferCast});
+    r.Register({"nn.relu", 1, InferSameType});
+    r.Register({"add", 2, InferAdd});
+    r.Register({"nn.avg_pool2d", 1, InferPool2d});
+    r.Register({"nn.max_pool2d", 1, InferPool2d});
+    r.Register({"nn.global_avg_pool2d", 1, InferGlobalAvgPool});
+    r.Register({"nn.softmax", 1, InferSameType});
+    r.Register({"reshape", 1, InferReshape});
+    r.Register({"nn.flatten", 1, InferFlatten});
+    r.Register({"nn.pad", 1, InferPad});
+    return true;
+  }();
+  (void)once;
 }
 
 }  // namespace htvm

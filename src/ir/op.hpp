@@ -23,6 +23,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -53,7 +54,10 @@ struct OpDef {
 };
 
 // Global registry. Ops are registered once at startup (RegisterCoreOps) and
-// looked up by name during graph construction and pattern matching.
+// looked up by name during graph construction and pattern matching. Both
+// operations are mutex-guarded so graphs can be built from concurrent
+// serving threads; returned OpDef pointers stay valid (std::map nodes are
+// stable under later insertions).
 class OpRegistry {
  public:
   static OpRegistry& Global();
@@ -62,6 +66,7 @@ class OpRegistry {
   const OpDef* Find(const std::string& name) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, OpDef> ops_;
 };
 

@@ -30,6 +30,7 @@ Executor::Executor(const compiler::Artifact* artifact,
                    ExecutorOptions options)
     : artifact_(artifact), options_(options) {
   HTVM_CHECK(artifact_ != nullptr);
+  for (const auto& k : artifact_->kernels) kernels_by_node_[k.node] = &k;
 }
 
 Result<ExecutionResult> Executor::Run(std::span<const Tensor> inputs) const {
@@ -44,10 +45,6 @@ Result<ExecutionResult> Executor::Run(std::span<const Tensor> inputs) const {
   if (inputs.size() != g.inputs().size()) {
     return Status::InvalidArgument("input count mismatch");
   }
-
-  // Schedules by kernel-graph node for the tiled path.
-  std::map<NodeId, const compiler::CompiledKernel*> kernels_by_node;
-  for (const auto& k : art.kernels) kernels_by_node[k.node] = &k;
 
   std::vector<Tensor> values(static_cast<size_t>(g.NumNodes()));
   for (size_t i = 0; i < inputs.size(); ++i) {
@@ -68,9 +65,9 @@ Result<ExecutionResult> Executor::Run(std::span<const Tensor> inputs) const {
         in.reserve(n.inputs.size());
         for (NodeId id : n.inputs) in.push_back(values[static_cast<size_t>(id)]);
 
-        const auto it = kernels_by_node.find(n.id);
+        const auto it = kernels_by_node_.find(n.id);
         const compiler::CompiledKernel* kernel =
-            it == kernels_by_node.end() ? nullptr : it->second;
+            it == kernels_by_node_.end() ? nullptr : it->second;
 
         if (options_.simulate_tiles && kernel != nullptr &&
             kernel->schedule.has_value()) {

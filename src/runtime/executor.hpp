@@ -9,6 +9,8 @@
 // like reading the paper's hardware performance counters after a run.
 #pragma once
 
+#include <map>
+
 #include "compiler/artifact.hpp"
 #include "tensor/tensor.hpp"
 
@@ -26,6 +28,12 @@ struct ExecutionResult {
   double latency_ms = 0.0;
 };
 
+// Thread-safety: an Executor is immutable after construction and `Run` only
+// reads the (shared, const) artifact — all per-run state lives on the
+// caller's stack. Any number of threads may call `Run` concurrently on one
+// Executor (or on distinct Executors sharing one Artifact); the serving
+// layer (src/serve) relies on this to drive a fleet of simulated SoCs from
+// a worker pool.
 class Executor {
  public:
   explicit Executor(const compiler::Artifact* artifact,
@@ -36,6 +44,9 @@ class Executor {
  private:
   const compiler::Artifact* artifact_;  // non-owning; outlives the executor
   ExecutorOptions options_;
+  // Tile schedules by kernel-graph node, precomputed so Run stays const and
+  // does no shared-state mutation (and skips a per-call map rebuild).
+  std::map<NodeId, const compiler::CompiledKernel*> kernels_by_node_;
 };
 
 }  // namespace htvm::runtime

@@ -1,0 +1,47 @@
+#include "serve/metrics.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace htvm::serve {
+
+std::string ServingMetrics::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"offered\": %lld,\n", static_cast<long long>(offered));
+  out += StrFormat("  \"admitted\": %lld,\n", static_cast<long long>(admitted));
+  out += StrFormat("  \"rejected\": %lld,\n", static_cast<long long>(rejected));
+  out += StrFormat("  \"served\": %lld,\n", static_cast<long long>(served));
+  out += StrFormat("  \"exec_failures\": %lld,\n",
+                   static_cast<long long>(exec_failures));
+  out += StrFormat("  \"output_mismatches\": %lld,\n",
+                   static_cast<long long>(output_mismatches));
+  out += StrFormat("  \"batches\": %lld,\n", static_cast<long long>(batches));
+  out += StrFormat("  \"max_batch_size\": %lld,\n",
+                   static_cast<long long>(max_batch_size));
+  out += StrFormat("  \"mean_batch_size\": %.3f,\n", mean_batch_size);
+  out += StrFormat("  \"duration_s\": %.6f,\n", duration_s);
+  out += StrFormat("  \"makespan_s\": %.6f,\n", makespan_s);
+  out += StrFormat("  \"throughput_rps\": %.3f,\n", throughput_rps);
+  out += StrFormat("  \"latency_us\": {\"p50\": %.1f, \"p95\": %.1f, "
+                   "\"p99\": %.1f, \"mean\": %.1f, \"max\": %.1f},\n",
+                   latency_p50_us, latency_p95_us, latency_p99_us,
+                   latency_mean_us, latency_max_us);
+  out += StrFormat("  \"queue\": {\"capacity\": %lld, \"max_depth\": %lld, "
+                   "\"mean_depth\": %.3f},\n",
+                   static_cast<long long>(queue_capacity),
+                   static_cast<long long>(max_queue_depth), mean_queue_depth);
+  out += "  \"socs\": [\n";
+  for (size_t i = 0; i < socs.size(); ++i) {
+    const SocStats& s = socs[i];
+    out += StrFormat("    {\"soc\": %d, \"inferences\": %lld, "
+                     "\"simulated_cycles\": %lld, \"busy_us\": %.1f, "
+                     "\"utilization\": %.4f}%s\n",
+                     s.soc, static_cast<long long>(s.inferences),
+                     static_cast<long long>(s.simulated_cycles), s.busy_us,
+                     s.utilization, i + 1 < socs.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace htvm::serve

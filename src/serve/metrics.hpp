@@ -1,0 +1,63 @@
+// Serving metrics: what an operator dashboards off this subsystem.
+//
+// All quantities are on the simulated clock (deterministic for a fixed
+// trace seed): throughput, admission-control counts, queue depth, latency
+// percentiles from the shared LatencyHistogram, and per-SoC utilization
+// derived from simulated busy time. `ToJson` renders a stable, sorted,
+// fixed-precision JSON object so runs can be diffed byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace htvm::serve {
+
+struct SocStats {
+  int soc = 0;
+  i64 inferences = 0;        // requests actually executed on this instance
+  i64 simulated_cycles = 0;  // accumulated from real Executor runs
+  double busy_us = 0;        // scheduler-side simulated busy time
+  double utilization = 0;    // busy_us / makespan
+};
+
+struct ServingMetrics {
+  // Request accounting. offered = admitted + rejected; served counts
+  // requests actually executed by the worker pool (== admitted when the
+  // run drains cleanly).
+  i64 offered = 0;
+  i64 admitted = 0;
+  i64 rejected = 0;
+  i64 served = 0;
+  i64 exec_failures = 0;
+  i64 output_mismatches = 0;  // only populated when verify_outputs is on
+
+  // Batching.
+  i64 batches = 0;
+  i64 max_batch_size = 0;
+  double mean_batch_size = 0;
+
+  // Time base (seconds of simulated time).
+  double duration_s = 0;  // trace horizon
+  double makespan_s = 0;  // completion of the last batch
+  double throughput_rps = 0;
+
+  // Latency SLO stats (simulated microseconds).
+  double latency_p50_us = 0;
+  double latency_p95_us = 0;
+  double latency_p99_us = 0;
+  double latency_mean_us = 0;
+  double latency_max_us = 0;
+
+  // Queue behaviour.
+  i64 queue_capacity = 0;
+  i64 max_queue_depth = 0;
+  double mean_queue_depth = 0;
+
+  std::vector<SocStats> socs;
+
+  std::string ToJson() const;
+};
+
+}  // namespace htvm::serve

@@ -1,0 +1,21 @@
+// A single inference request flowing through the serving subsystem.
+//
+// The serving layer is open-loop: arrival timestamps come from a synthetic
+// trace (serve/trace.hpp) on the *simulated* clock, in microseconds. All
+// latency accounting stays on that clock — like the rest of the simulator,
+// timing derives from the artifact's static cost model, not from host
+// wall-clock, which keeps every serving metric deterministic under a fixed
+// seed regardless of worker-thread interleaving.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace htvm::serve {
+
+struct InferRequest {
+  u64 id = 0;
+  int model = 0;          // index into the server's registered models
+  double arrival_us = 0;  // simulated arrival timestamp
+};
+
+}  // namespace htvm::serve

@@ -1,0 +1,99 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace htvm::serve {
+
+FleetScheduler::FleetScheduler(SchedulerOptions options)
+    : options_(options),
+      soc_free_us_(static_cast<size_t>(options.fleet_size), 0.0),
+      soc_busy_us_(static_cast<size_t>(options.fleet_size), 0.0) {
+  HTVM_CHECK(options_.fleet_size > 0);
+  HTVM_CHECK(options_.queue_capacity > 0);
+  HTVM_CHECK(options_.max_batch > 0);
+}
+
+int FleetScheduler::EarliestFreeSoc() const {
+  int best = 0;
+  for (int s = 1; s < options_.fleet_size; ++s) {
+    if (soc_free_us_[static_cast<size_t>(s)] <
+        soc_free_us_[static_cast<size_t>(best)]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void FleetScheduler::DispatchUpTo(double now_us,
+                                  std::vector<ScheduledBatch>* out) {
+  while (!pending_.empty()) {
+    const int soc = EarliestFreeSoc();
+    const double start = std::max(soc_free_us_[static_cast<size_t>(soc)],
+                                  pending_.front().request.arrival_us);
+    if (start > now_us) break;
+
+    ScheduledBatch batch;
+    batch.soc = soc;
+    batch.model = pending_.front().request.model;
+    batch.start_us = start;
+    double total_us = 0;
+    while (!pending_.empty() &&
+           static_cast<int>(batch.requests.size()) < options_.max_batch &&
+           pending_.front().request.model == batch.model &&
+           pending_.front().request.arrival_us <= start) {
+      Pending p = std::move(pending_.front());
+      pending_.pop_front();
+      const bool first = batch.requests.empty();
+      total_us += first ? p.service_us
+                        : std::max(0.0, p.service_us - p.batch_saving_us);
+      batch.requests.push_back(
+          ScheduledRequest{p.request, p.service_us, start, 0.0});
+    }
+    batch.done_us = start + total_us;
+    for (ScheduledRequest& r : batch.requests) r.done_us = batch.done_us;
+
+    soc_free_us_[static_cast<size_t>(soc)] = batch.done_us;
+    soc_busy_us_[static_cast<size_t>(soc)] += total_us;
+    makespan_us_ = std::max(makespan_us_, batch.done_us);
+    batches_ += 1;
+    max_batch_size_ =
+        std::max(max_batch_size_, static_cast<i64>(batch.requests.size()));
+    out->push_back(std::move(batch));
+  }
+}
+
+bool FleetScheduler::Offer(const InferRequest& request, double service_us,
+                           double batch_saving_us,
+                           std::vector<ScheduledBatch>* dispatched) {
+  HTVM_CHECK_MSG(request.arrival_us >= last_arrival_us_,
+                 "trace arrivals must be offered in order");
+  last_arrival_us_ = request.arrival_us;
+  ++offered_;
+
+  DispatchUpTo(request.arrival_us, dispatched);
+  if (static_cast<i64>(pending_.size()) >= options_.queue_capacity) {
+    ++rejected_;
+    return false;
+  }
+  pending_.push_back(Pending{request, service_us, batch_saving_us});
+  ++admitted_;
+  max_queue_depth_ =
+      std::max(max_queue_depth_, static_cast<i64>(pending_.size()));
+  depth_sum_ += static_cast<double>(pending_.size());
+  ++depth_samples_;
+  return true;
+}
+
+std::vector<ScheduledBatch> FleetScheduler::Flush() {
+  std::vector<ScheduledBatch> out;
+  DispatchUpTo(std::numeric_limits<double>::infinity(), &out);
+  return out;
+}
+
+double FleetScheduler::MeanQueueDepth() const {
+  return depth_samples_ > 0 ? depth_sum_ / static_cast<double>(depth_samples_)
+                            : 0.0;
+}
+
+}  // namespace htvm::serve

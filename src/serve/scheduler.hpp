@@ -1,0 +1,106 @@
+// Deterministic fleet scheduler: the simulated-time core of the serving
+// subsystem.
+//
+// Requests are offered in arrival order (the open-loop trace is sorted).
+// The scheduler keeps one simulated free-at timestamp per SoC and a bounded
+// FIFO of admitted-but-undispatched requests. Offering a request first
+// dispatches every batch whose simulated start precedes the new arrival,
+// then applies admission control: if the FIFO is at capacity the request is
+// rejected (the caller surfaces a typed ResourceExhausted status).
+//
+// Dispatch pops from the FIFO head onto the earliest-free SoC; consecutive
+// same-model requests that have already arrived by the batch's start time
+// coalesce into one micro-batch (up to `max_batch`), saving
+// `batch_saving_us` of runtime dispatch overhead for every request after
+// the first.
+//
+// Because all decisions happen at Offer/Flush time on the simulated clock,
+// request latencies, rejections and per-SoC busy time are a pure function
+// of the trace — worker threads then execute the dispatched batches for
+// real (bit-exact tensor compute) without influencing the metrics.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace htvm::serve {
+
+struct SchedulerOptions {
+  int fleet_size = 1;
+  int queue_capacity = 64;  // admitted-but-undispatched bound
+  int max_batch = 1;        // 1 = micro-batching off
+};
+
+struct ScheduledRequest {
+  InferRequest request;
+  double service_us = 0;  // this request's standalone service time
+  double start_us = 0;    // batch start on the assigned SoC
+  double done_us = 0;     // batch completion (latency = done - arrival)
+};
+
+struct ScheduledBatch {
+  int soc = 0;
+  int model = 0;
+  double start_us = 0;
+  double done_us = 0;
+  std::vector<ScheduledRequest> requests;
+};
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(SchedulerOptions options);
+
+  // Offers a request with the given standalone service time;
+  // `batch_saving_us` is the dispatch overhead this request sheds when it
+  // coalesces behind a same-model request. Batches whose simulated start is
+  // at or before `request.arrival_us` are appended to `*dispatched`.
+  // Returns false when admission control rejects the request (pending FIFO
+  // full). Arrivals must be offered in non-decreasing order.
+  bool Offer(const InferRequest& request, double service_us,
+             double batch_saving_us, std::vector<ScheduledBatch>* dispatched);
+
+  // Dispatches everything still pending (end of trace).
+  std::vector<ScheduledBatch> Flush();
+
+  // --- statistics over the whole run (valid after Flush) ---
+  i64 offered() const { return offered_; }
+  i64 admitted() const { return admitted_; }
+  i64 rejected() const { return rejected_; }
+  i64 batches() const { return batches_; }
+  i64 max_batch_size() const { return max_batch_size_; }
+  i64 max_queue_depth() const { return max_queue_depth_; }
+  // Mean pending-FIFO depth sampled right after each admitted arrival.
+  double MeanQueueDepth() const;
+  // Simulated time the last batch completes.
+  double makespan_us() const { return makespan_us_; }
+  const std::vector<double>& soc_busy_us() const { return soc_busy_us_; }
+
+ private:
+  struct Pending {
+    InferRequest request;
+    double service_us = 0;
+    double batch_saving_us = 0;
+  };
+
+  void DispatchUpTo(double now_us, std::vector<ScheduledBatch>* out);
+  int EarliestFreeSoc() const;
+
+  SchedulerOptions options_;
+  std::vector<double> soc_free_us_;
+  std::vector<double> soc_busy_us_;
+  std::deque<Pending> pending_;
+  double last_arrival_us_ = 0;
+  double makespan_us_ = 0;
+  i64 offered_ = 0;
+  i64 admitted_ = 0;
+  i64 rejected_ = 0;
+  i64 batches_ = 0;
+  i64 max_batch_size_ = 0;
+  i64 max_queue_depth_ = 0;
+  double depth_sum_ = 0;
+  i64 depth_samples_ = 0;
+};
+
+}  // namespace htvm::serve

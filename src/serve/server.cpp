@@ -1,0 +1,196 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+namespace htvm::serve {
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : options_(options),
+      scheduler_(SchedulerOptions{options.fleet_size, options.queue_capacity,
+                                  options.max_batch}),
+      fleet_(options.fleet_size),
+      // The exec queue throttles the (real-time) submitter against the
+      // (real-time) workers; admission control happened already, so Push
+      // blocks instead of dropping.
+      exec_queue_(256) {
+  HTVM_CHECK(options_.fleet_size > 0);
+}
+
+InferenceServer::~InferenceServer() {
+  exec_queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+Result<int> InferenceServer::RegisterModel(
+    std::string name, std::shared_ptr<const compiler::Artifact> artifact,
+    u64 input_seed) {
+  HTVM_CHECK_MSG(!started_, "RegisterModel must precede Start");
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("RegisterModel: null artifact");
+  }
+  if (options_.executor.enforce_memory && !artifact->memory_plan.fits) {
+    return Status::ResourceExhausted(
+        "RegisterModel: artifact '" + name + "' does not fit in L2");
+  }
+
+  ModelEntry entry;
+  entry.name = std::move(name);
+  entry.artifact = std::move(artifact);
+  entry.executor = std::make_unique<runtime::Executor>(entry.artifact.get(),
+                                                       options_.executor);
+  const compiler::Artifact& art = *entry.artifact;
+  entry.service_us = art.hw_config.CyclesToUs(art.TotalFullCycles());
+  entry.batch_saving_us = art.hw_config.CyclesToUs(
+      art.hw_config.runtime_call_overhead *
+      static_cast<i64>(art.kernels.size()));
+
+  Rng rng(input_seed ^ (models_.size() * 0x9E3779B97F4A7C15ull));
+  const Graph& g = art.kernel_graph;
+  for (NodeId id : g.inputs()) {
+    const Node& n = g.node(id);
+    entry.inputs.push_back(Tensor::Random(n.type.shape, n.type.dtype, rng));
+  }
+  auto reference = entry.executor->Run(entry.inputs);
+  if (!reference.ok()) return reference.status();
+  entry.reference = std::move(reference.value().outputs);
+
+  models_.push_back(std::move(entry));
+  return static_cast<int>(models_.size()) - 1;
+}
+
+void InferenceServer::Start() {
+  HTVM_CHECK_MSG(!started_, "Start called twice");
+  HTVM_CHECK_MSG(!models_.empty(), "Start without registered models");
+  started_ = true;
+  int threads = options_.worker_threads > 0 ? options_.worker_threads
+                                            : options_.fleet_size;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Status InferenceServer::Submit(int model, double arrival_us) {
+  HTVM_CHECK_MSG(started_ && !drained_, "Submit outside Start..Drain");
+  if (model < 0 || model >= num_models()) {
+    return Status::InvalidArgument(
+        StrFormat("Submit: unknown model handle %d", model));
+  }
+  const ModelEntry& entry = models_[static_cast<size_t>(model)];
+
+  std::vector<ScheduledBatch> dispatched;
+  bool admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const InferRequest request{next_id_++, model, arrival_us};
+    admitted = scheduler_.Offer(request, entry.service_us,
+                                entry.batch_saving_us, &dispatched);
+    for (const ScheduledBatch& batch : dispatched) {
+      for (const ScheduledRequest& r : batch.requests) {
+        latency_.Record(r.done_us - r.request.arrival_us);
+      }
+    }
+  }
+  for (ScheduledBatch& batch : dispatched) {
+    exec_queue_.Push(std::move(batch));
+  }
+  if (!admitted) {
+    return Status::ResourceExhausted(
+        StrFormat("serving queue full (capacity %d)",
+                  options_.queue_capacity));
+  }
+  return Status::Ok();
+}
+
+ServingMetrics InferenceServer::Drain(double duration_s) {
+  HTVM_CHECK_MSG(started_ && !drained_, "Drain outside Start..Drain");
+  drained_ = true;
+
+  std::vector<ScheduledBatch> rest;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rest = scheduler_.Flush();
+    for (const ScheduledBatch& batch : rest) {
+      for (const ScheduledRequest& r : batch.requests) {
+        latency_.Record(r.done_us - r.request.arrival_us);
+      }
+    }
+  }
+  for (ScheduledBatch& batch : rest) exec_queue_.Push(std::move(batch));
+  exec_queue_.Close();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  ServingMetrics m;
+  m.offered = scheduler_.offered();
+  m.admitted = scheduler_.admitted();
+  m.rejected = scheduler_.rejected();
+  m.served = served_.load();
+  m.exec_failures = exec_failures_.load();
+  m.output_mismatches = output_mismatches_.load();
+  m.batches = scheduler_.batches();
+  m.max_batch_size = scheduler_.max_batch_size();
+  m.mean_batch_size =
+      m.batches > 0
+          ? static_cast<double>(m.admitted) / static_cast<double>(m.batches)
+          : 0.0;
+  m.duration_s = duration_s;
+  m.makespan_s = scheduler_.makespan_us() / 1e6;
+  const double time_base_s = std::max(m.duration_s, m.makespan_s);
+  m.throughput_rps =
+      time_base_s > 0 ? static_cast<double>(m.served) / time_base_s : 0.0;
+  m.latency_p50_us = latency_.Percentile(50.0);
+  m.latency_p95_us = latency_.Percentile(95.0);
+  m.latency_p99_us = latency_.Percentile(99.0);
+  m.latency_mean_us = latency_.Mean();
+  m.latency_max_us = latency_.max();
+  m.queue_capacity = options_.queue_capacity;
+  m.max_queue_depth = scheduler_.max_queue_depth();
+  m.mean_queue_depth = scheduler_.MeanQueueDepth();
+
+  const double makespan_us = scheduler_.makespan_us();
+  const auto& busy = scheduler_.soc_busy_us();
+  for (int s = 0; s < fleet_.size(); ++s) {
+    SocStats stats;
+    stats.soc = s;
+    stats.inferences = fleet_.at(s).inferences();
+    stats.simulated_cycles = fleet_.at(s).simulated_cycles();
+    stats.busy_us = busy[static_cast<size_t>(s)];
+    stats.utilization = makespan_us > 0 ? stats.busy_us / makespan_us : 0.0;
+    m.socs.push_back(stats);
+  }
+  return m;
+}
+
+void InferenceServer::WorkerLoop() {
+  while (auto batch = exec_queue_.Pop()) {
+    const ModelEntry& entry = models_[static_cast<size_t>(batch->model)];
+    SocInstance& soc = fleet_.at(batch->soc);
+    for (size_t i = 0; i < batch->requests.size(); ++i) {
+      auto result = entry.executor->Run(entry.inputs);
+      if (!result.ok()) {
+        HTVM_ELOG << "serve: execution failed on soc " << soc.id() << ": "
+                  << result.status().ToString();
+        exec_failures_.fetch_add(1);
+        continue;
+      }
+      if (options_.verify_outputs) {
+        bool match = result->outputs.size() == entry.reference.size();
+        for (size_t o = 0; match && o < entry.reference.size(); ++o) {
+          match = result->outputs[o].SameAs(entry.reference[o]);
+        }
+        if (!match) output_mismatches_.fetch_add(1);
+      }
+      soc.RecordRun(*result);
+      served_.fetch_add(1);
+    }
+  }
+}
+
+}  // namespace htvm::serve

@@ -1,0 +1,120 @@
+// InferenceServer: concurrent multi-SoC serving over compiled artifacts.
+//
+// Architecture (docs/serving.md has the full picture):
+//
+//   trace ──Submit──▶ FleetScheduler ──batches──▶ BoundedQueue ──▶ workers
+//                     (simulated clock,            (real MPMC)      (real
+//                      admission control,                           threads,
+//                      micro-batching,                              Executor
+//                      latency accounting)                          ::Run)
+//
+// The scheduler decides *when* each request runs and on *which* SoC purely
+// on the simulated clock, so all serving metrics are deterministic for a
+// fixed trace. The worker pool then actually executes every dispatched
+// request on its assigned simulated SoC instance — real concurrent tensor
+// compute over one shared, immutable Artifact — accumulating per-instance
+// counters and (optionally) verifying bit-exactness against a
+// single-threaded reference run.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/artifact.hpp"
+#include "runtime/executor.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/soc_fleet.hpp"
+#include "support/bounded_queue.hpp"
+#include "support/histogram.hpp"
+
+namespace htvm::serve {
+
+struct ServerOptions {
+  int fleet_size = 1;
+  int queue_capacity = 64;  // admission-control bound (pending requests)
+  int worker_threads = 0;   // 0 => one per SoC
+  int max_batch = 1;        // micro-batching: coalesce same-model requests
+  // Compare every worker-side output against the reference run; the
+  // concurrency tests switch this on to prove shared-artifact execution is
+  // race-free and bit-exact.
+  bool verify_outputs = false;
+  runtime::ExecutorOptions executor;
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerOptions options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Registers a compiled model before Start(). Deterministic sample inputs
+  // are synthesized from `input_seed`, and a single-threaded reference run
+  // captures the expected outputs. Returns the model handle for Submit.
+  Result<int> RegisterModel(std::string name,
+                            std::shared_ptr<const compiler::Artifact> artifact,
+                            u64 input_seed = 0x5EEDull);
+
+  // Spawns the worker pool. Must be called exactly once, after all models.
+  void Start();
+
+  // Offers one request at the given simulated arrival time (non-decreasing
+  // across calls). Returns ResourceExhausted when admission control rejects
+  // it; the rejection is also counted in the final metrics.
+  Status Submit(int model, double arrival_us);
+
+  // Flushes the scheduler, drains and joins the worker pool, and assembles
+  // the final metrics. `duration_s` is the trace horizon used for the
+  // throughput time base (throughput uses max(duration, makespan)).
+  ServingMetrics Drain(double duration_s);
+
+  int num_models() const { return static_cast<int>(models_.size()); }
+  const std::string& model_name(int model) const {
+    return models_[static_cast<size_t>(model)].name;
+  }
+  // Standalone simulated service time of one request of `model`.
+  double ServiceUs(int model) const {
+    return models_[static_cast<size_t>(model)].service_us;
+  }
+
+ private:
+  struct ModelEntry {
+    std::string name;
+    std::shared_ptr<const compiler::Artifact> artifact;
+    std::unique_ptr<runtime::Executor> executor;
+    std::vector<Tensor> inputs;     // deterministic sample inputs
+    std::vector<Tensor> reference;  // single-threaded reference outputs
+    double service_us = 0;
+    // Runtime dispatch overhead a coalesced same-model request avoids: the
+    // graph-executor step / marshalling per kernel call is already paid by
+    // the batch head.
+    double batch_saving_us = 0;
+  };
+
+  void WorkerLoop();
+
+  ServerOptions options_;
+  std::vector<ModelEntry> models_;
+
+  std::mutex mu_;  // guards scheduler_, latency_, offered id counter
+  FleetScheduler scheduler_;
+  LatencyHistogram latency_;
+  u64 next_id_ = 0;
+
+  SocFleet fleet_;
+  BoundedQueue<ScheduledBatch> exec_queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<i64> served_{0};
+  std::atomic<i64> exec_failures_{0};
+  std::atomic<i64> output_mismatches_{0};
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace htvm::serve

@@ -1,0 +1,35 @@
+#include "serve/soc_fleet.hpp"
+
+namespace htvm::serve {
+
+void SocInstance::RecordRun(const runtime::ExecutionResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++inferences_;
+  cycles_ += result.total_cycles;
+  aggregate_.Accumulate(result.profile);
+}
+
+i64 SocInstance::inferences() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inferences_;
+}
+
+i64 SocInstance::simulated_cycles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycles_;
+}
+
+hw::RunProfile SocInstance::Profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregate_;
+}
+
+SocFleet::SocFleet(int size) {
+  HTVM_CHECK(size > 0);
+  socs_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    socs_.push_back(std::make_unique<SocInstance>(i));
+  }
+}
+
+}  // namespace htvm::serve

@@ -1,0 +1,54 @@
+// A fleet of simulated DIANA SoC instances.
+//
+// Each instance keeps its *own* accumulated counters — inference count,
+// simulated cycles, and a per-kernel hw::RunProfile aggregate — behind its
+// own mutex, so worker threads executing on different SoCs never contend
+// and counters are isolated per instance (no global performance state).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hw/perf.hpp"
+#include "runtime/executor.hpp"
+
+namespace htvm::serve {
+
+class SocInstance {
+ public:
+  explicit SocInstance(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  // Folds one completed inference into this instance's counters.
+  void RecordRun(const runtime::ExecutionResult& result);
+
+  i64 inferences() const;
+  i64 simulated_cycles() const;
+  // Snapshot of the accumulated per-kernel counters.
+  hw::RunProfile Profile() const;
+
+ private:
+  const int id_;
+  mutable std::mutex mu_;
+  i64 inferences_ = 0;
+  i64 cycles_ = 0;
+  hw::RunProfile aggregate_;
+};
+
+class SocFleet {
+ public:
+  explicit SocFleet(int size);
+
+  int size() const { return static_cast<int>(socs_.size()); }
+  SocInstance& at(int index) { return *socs_[static_cast<size_t>(index)]; }
+  const SocInstance& at(int index) const {
+    return *socs_[static_cast<size_t>(index)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<SocInstance>> socs_;
+};
+
+}  // namespace htvm::serve

@@ -1,0 +1,28 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace htvm::serve {
+
+std::vector<TraceEvent> PoissonTrace(double qps, double duration_s, u64 seed,
+                                     int num_models) {
+  HTVM_CHECK(qps > 0 && duration_s > 0 && num_models > 0);
+  std::vector<TraceEvent> events;
+  Rng rng(seed);
+  const double horizon_us = duration_s * 1e6;
+  const double mean_gap_us = 1e6 / qps;
+  double t = 0;
+  for (;;) {
+    // Inverse-CDF exponential draw; UniformDouble is in [0, 1) so the log
+    // argument stays strictly positive.
+    t += -std::log(1.0 - rng.UniformDouble()) * mean_gap_us;
+    if (t >= horizon_us) break;
+    events.push_back(TraceEvent{
+        t, static_cast<int>(rng.UniformInt(0, num_models - 1))});
+  }
+  return events;
+}
+
+}  // namespace htvm::serve

@@ -1,0 +1,25 @@
+// Synthetic open-loop arrival traces for the serving subsystem.
+//
+// Poisson process: exponential inter-arrival times at the configured QPS,
+// model picked uniformly per request. Deterministic in the seed (xoshiro
+// Rng), so a trace — and therefore every serving metric derived from it —
+// reproduces exactly across runs and platforms.
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace htvm::serve {
+
+struct TraceEvent {
+  double arrival_us = 0;
+  int model = 0;
+};
+
+// Arrivals in [0, duration_s) at `qps` requests/second over `num_models`
+// models. Sorted by arrival time.
+std::vector<TraceEvent> PoissonTrace(double qps, double duration_s, u64 seed,
+                                     int num_models);
+
+}  // namespace htvm::serve

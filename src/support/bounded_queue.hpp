@@ -1,0 +1,79 @@
+// Bounded multi-producer/multi-consumer queue for the serving worker pool.
+//
+// Mutex + two condition variables; correctness over throughput — items are
+// whole inference batches, so queue operations are nowhere near the hot
+// path. Close() wakes every waiter: producers fail fast, consumers drain
+// the remaining items and then see std::nullopt, the worker-loop exit
+// signal.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/common.hpp"
+
+namespace htvm {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    HTVM_CHECK(capacity_ > 0);
+  }
+
+  // Non-blocking admission: false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while full; false once the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty; std::nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace htvm

@@ -1,10 +1,11 @@
 #include "support/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace htvm {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -17,11 +18,15 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void EmitLog(LogLevel level, const std::string& message) {
+  // One fprintf per line: stdio locks the stream, so concurrent workers
+  // cannot interleave characters within a message.
   std::fprintf(stderr, "[htvm %s] %s\n", LevelTag(level), message.c_str());
 }
 }  // namespace detail

@@ -10,8 +10,10 @@ namespace htvm {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global threshold; messages below it are discarded. Not thread-safe by
-// design: the simulator is single-threaded (it models a single-core host).
+// Global threshold; messages below it are discarded. The threshold is an
+// atomic and each message is emitted with a single stdio call, so logging
+// from the serving worker pool is safe (the *simulated target* stays a
+// single-core host; the host-side simulator is multi-threaded).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

@@ -13,18 +13,31 @@ namespace htvm {
 namespace {
 
 const char* kTool = "../tools/htvmc";
+const char* kServeTool = "../tools/htvm-serve";
 
-bool ToolExists() {
-  std::ifstream f(kTool);
+bool BinaryExists(const char* path) {
+  std::ifstream f(path);
   return f.good();
 }
 
-int RunTool(const std::string& args, std::string* out_path = nullptr) {
-  const std::string capture = ::testing::TempDir() + "/htvmc_out.txt";
+bool ToolExists() { return BinaryExists(kTool); }
+
+int RunBinary(const char* tool, const std::string& args,
+              std::string* out_path, const char* capture_name) {
+  const std::string capture = ::testing::TempDir() + capture_name;
   if (out_path != nullptr) *out_path = capture;
   const std::string cmd =
-      std::string(kTool) + " " + args + " > " + capture + " 2>&1";
+      std::string(tool) + " " + args + " > " + capture + " 2>&1";
   return std::system(cmd.c_str());
+}
+
+int RunTool(const std::string& args, std::string* out_path = nullptr) {
+  return RunBinary(kTool, args, out_path, "/htvmc_out.txt");
+}
+
+int RunServe(const std::string& args, std::string* out_path = nullptr,
+             const char* capture_name = "/htvm_serve_out.txt") {
+  return RunBinary(kServeTool, args, out_path, capture_name);
 }
 
 std::string ReadAll(const std::string& path) {
@@ -85,6 +98,44 @@ TEST(Cli, EmitsCompilableSources) {
   EXPECT_TRUE(f.good());
 }
 
+TEST(Cli, UnknownModelFailsWithMessage) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunTool("--model nosuchnet --config mixed", &out), 0);
+  EXPECT_NE(ReadAll(out).find("unknown model 'nosuchnet'"), std::string::npos);
+}
+
+TEST(Cli, BadConfigFailsWithMessage) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunTool("--model resnet --config warp", &out), 0);
+  EXPECT_NE(ReadAll(out).find("unknown --config 'warp'"), std::string::npos);
+}
+
+TEST(Cli, UnreadableGraphFailsWithMessage) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunTool("--graph /nonexistent/dir/net.htvm --config digital",
+                    &out),
+            0);
+  EXPECT_NE(ReadAll(out).find("cannot open /nonexistent/dir/net.htvm"),
+            std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueFails) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunTool("--model", &out), 0);
+  EXPECT_NE(ReadAll(out).find("--model needs a value"), std::string::npos);
+}
+
+TEST(Cli, BadL1ValueFails) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunTool("--model resnet --l1 0", &out), 0);
+  EXPECT_NE(ReadAll(out).find("bad --l1 value"), std::string::npos);
+}
+
 TEST(Cli, L1OverrideChangesTiling) {
   if (!ToolExists()) GTEST_SKIP();
   std::string big_out, small_out;
@@ -95,6 +146,46 @@ TEST(Cli, L1OverrideChangesTiling) {
             0);
   const std::string small = ReadAll(small_out);
   EXPECT_NE(big, small);  // tighter L1 -> different tile counts/latency
+}
+
+TEST(ServeCli, HelpSucceeds) {
+  if (!BinaryExists(kServeTool)) GTEST_SKIP();
+  std::string out;
+  EXPECT_EQ(RunServe("--help", &out), 0);
+  EXPECT_NE(ReadAll(out).find("--fleet"), std::string::npos);
+}
+
+TEST(ServeCli, NoModelFails) {
+  if (!BinaryExists(kServeTool)) GTEST_SKIP();
+  EXPECT_NE(RunServe("--qps 100"), 0);
+}
+
+TEST(ServeCli, UnknownModelFails) {
+  if (!BinaryExists(kServeTool)) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunServe("--model nosuchnet", &out), 0);
+  EXPECT_NE(ReadAll(out).find("unknown model 'nosuchnet'"),
+            std::string::npos);
+}
+
+TEST(ServeCli, PrintsJsonMetricsDeterministically) {
+  if (!BinaryExists(kServeTool)) GTEST_SKIP();
+  // Scaled-down version of the acceptance command (the full 2-second trace
+  // is exercised by bench_serving); verifies every metric family is present
+  // and that stdout is byte-identical across runs of the same seed.
+  const std::string args =
+      "--model resnet --config mixed --qps 200 --fleet 4 --duration-s 0.1 "
+      "--seed 7 --verify";
+  std::string out_a, out_b;
+  ASSERT_EQ(RunServe(args, &out_a, "/serve_a.txt"), 0);
+  ASSERT_EQ(RunServe(args, &out_b, "/serve_b.txt"), 0);
+  const std::string a = ReadAll(out_a);
+  EXPECT_EQ(a, ReadAll(out_b));
+  for (const char* key :
+       {"\"throughput_rps\"", "\"p50\"", "\"p95\"", "\"p99\"",
+        "\"rejected\"", "\"utilization\"", "\"output_mismatches\": 0"}) {
+    EXPECT_NE(a.find(key), std::string::npos) << "missing " << key;
+  }
 }
 
 }  // namespace

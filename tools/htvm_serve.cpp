@@ -1,0 +1,222 @@
+// htvm-serve — open-loop serving driver for the HTVM reproduction.
+//
+// Replays a synthetic Poisson arrival trace against a fleet of simulated
+// DIANA SoC instances and prints the serving metrics (throughput, latency
+// p50/p95/p99, queue behaviour, per-SoC utilization) as JSON. All timing is
+// on the simulated clock, so the output is deterministic in the seed.
+//
+//   htvm-serve --model resnet --config mixed --qps 200 --fleet 4 \
+//              --duration-s 2 --seed 7
+//   htvm-serve --model resnet,dscnn --config digital --qps 500 --fleet 2 \
+//              --batch 4 --queue-cap 32
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+#include "support/string_utils.hpp"
+
+using namespace htvm;
+
+namespace {
+
+struct ServeCliOptions {
+  std::vector<std::string> models;  // builtin model names
+  std::string config = "mixed";
+  double qps = 100.0;
+  double duration_s = 1.0;
+  int fleet = 1;
+  int queue_cap = 64;
+  int batch = 1;
+  int threads = 0;  // 0 => one per SoC
+  u64 seed = 7;
+  bool verify = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(htvm-serve — open-loop serving over simulated DIANA SoCs
+
+options:
+  --model <name[,name...]>   builtin MLPerf Tiny models to serve
+                             (dscnn|mobilenet|resnet|toyadmos)
+  --config <tvm|digital|analog|mixed>  deployment configuration
+  --qps <n>                  Poisson arrival rate (requests/s)
+  --duration-s <n>           trace horizon in seconds
+  --fleet <n>                number of simulated SoC instances
+  --queue-cap <n>            admission-control queue bound
+  --batch <n>                micro-batch size (1 = off)
+  --threads <n>              worker threads (default: one per SoC)
+  --seed <n>                 trace seed (metrics are deterministic in it)
+  --verify                   check every output against the reference run
+  --help                     this text
+)");
+}
+
+Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
+  ServeCliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(arg + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--model") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      std::string current;
+      for (char c : v + ",") {
+        if (c == ',') {
+          if (!current.empty()) opt.models.push_back(current);
+          current.clear();
+        } else {
+          current += c;
+        }
+      }
+    } else if (arg == "--config") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.config = v;
+    } else if (arg == "--qps") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.qps = std::atof(v.c_str());
+      if (opt.qps <= 0) return Status::InvalidArgument("bad --qps value");
+    } else if (arg == "--duration-s") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.duration_s = std::atof(v.c_str());
+      if (opt.duration_s <= 0) {
+        return Status::InvalidArgument("bad --duration-s value");
+      }
+    } else if (arg == "--fleet") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.fleet = std::atoi(v.c_str());
+      if (opt.fleet <= 0) return Status::InvalidArgument("bad --fleet value");
+    } else if (arg == "--queue-cap") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.queue_cap = std::atoi(v.c_str());
+      if (opt.queue_cap <= 0) {
+        return Status::InvalidArgument("bad --queue-cap value");
+      }
+    } else if (arg == "--batch") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.batch = std::atoi(v.c_str());
+      if (opt.batch <= 0) return Status::InvalidArgument("bad --batch value");
+    } else if (arg == "--threads") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.threads = std::atoi(v.c_str());
+      if (opt.threads < 0) {
+        return Status::InvalidArgument("bad --threads value");
+      }
+    } else if (arg == "--seed") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.seed = static_cast<u64>(std::atoll(v.c_str()));
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return opt;
+}
+
+Result<Graph> BuildModel(const std::string& name,
+                         models::PrecisionPolicy policy) {
+  for (const auto& model : models::MlperfTinySuite()) {
+    std::string lower = model.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) return model.build(policy);
+  }
+  if (name == "dscnn") return models::BuildDsCnn(policy);
+  return Status::NotFound("unknown model '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "htvm-serve: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const ServeCliOptions opt = *parsed;
+  if (opt.help || opt.models.empty()) {
+    PrintUsage();
+    return opt.help ? 0 : 2;
+  }
+
+  compiler::CompileOptions options;
+  models::PrecisionPolicy policy = models::PrecisionPolicy::kMixed;
+  if (opt.config == "tvm") {
+    options = compiler::CompileOptions::PlainTvm();
+    policy = models::PrecisionPolicy::kInt8;
+  } else if (opt.config == "digital") {
+    options = compiler::CompileOptions::DigitalOnly();
+    policy = models::PrecisionPolicy::kInt8;
+  } else if (opt.config == "analog") {
+    options = compiler::CompileOptions::AnalogOnly();
+    policy = models::PrecisionPolicy::kTernary;
+  } else if (opt.config == "mixed") {
+    policy = models::PrecisionPolicy::kMixed;
+  } else {
+    std::fprintf(stderr, "htvm-serve: unknown --config '%s'\n",
+                 opt.config.c_str());
+    return 2;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.fleet_size = opt.fleet;
+  server_options.queue_capacity = opt.queue_cap;
+  server_options.worker_threads = opt.threads;
+  server_options.max_batch = opt.batch;
+  server_options.verify_outputs = opt.verify;
+  serve::InferenceServer server(server_options);
+
+  for (const std::string& name : opt.models) {
+    auto network = BuildModel(name, policy);
+    if (!network.ok()) {
+      std::fprintf(stderr, "htvm-serve: %s\n",
+                   network.status().ToString().c_str());
+      return 1;
+    }
+    auto artifact = compiler::HtvmCompiler{options}.Compile(*network);
+    if (!artifact.ok()) {
+      std::fprintf(stderr, "htvm-serve: compiling %s failed: %s\n",
+                   name.c_str(), artifact.status().ToString().c_str());
+      return 1;
+    }
+    auto handle = server.RegisterModel(
+        name, std::make_shared<compiler::Artifact>(std::move(*artifact)),
+        opt.seed);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "htvm-serve: %s\n",
+                   handle.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "htvm-serve: %s/%s ready, service %.1f us/request\n",
+                 name.c_str(), opt.config.c_str(), server.ServiceUs(*handle));
+  }
+
+  const auto trace = serve::PoissonTrace(opt.qps, opt.duration_s, opt.seed,
+                                         server.num_models());
+  server.Start();
+  for (const serve::TraceEvent& event : trace) {
+    // Rejections are part of the experiment; they land in the metrics.
+    (void)server.Submit(event.model, event.arrival_us);
+  }
+  const serve::ServingMetrics metrics = server.Drain(opt.duration_s);
+  std::printf("%s", metrics.ToJson().c_str());
+  if (metrics.exec_failures > 0 || metrics.output_mismatches > 0) {
+    std::fprintf(stderr, "htvm-serve: %lld failures, %lld mismatches\n",
+                 static_cast<long long>(metrics.exec_failures),
+                 static_cast<long long>(metrics.output_mismatches));
+    return 1;
+  }
+  return 0;
+}
