@@ -33,8 +33,23 @@ Executor::Executor(const compiler::Artifact* artifact,
   for (const auto& k : artifact_->kernels) kernels_by_node_[k.node] = &k;
 }
 
-Result<ExecutionResult> Executor::Run(std::span<const Tensor> inputs) const {
+Result<ExecutionResult> Executor::Run(std::span<const Tensor> inputs,
+                                      const RunContext* ctx) const {
   const compiler::Artifact& art = *artifact_;
+  if (ctx != nullptr && ctx->faults != nullptr) {
+    if (ctx->faults->CrashedBy(ctx->soc, ctx->end_us)) {
+      return Status::Unavailable(StrFormat(
+          "injected fault: soc %d crashed at %.1f us (attempt [%.1f, %.1f])",
+          ctx->soc, ctx->faults->CrashTimeUs(ctx->soc), ctx->start_us,
+          ctx->end_us));
+    }
+    if (ctx->faults->TransientAt(ctx->soc, ctx->start_us)) {
+      return Status::Unavailable(StrFormat(
+          "injected fault: transient DMA/accelerator error on soc %d at "
+          "%.1f us",
+          ctx->soc, ctx->start_us));
+    }
+  }
   if (options_.enforce_memory && !art.memory_plan.fits) {
     return Status::ResourceExhausted(StrFormat(
         "out of memory: deployment needs %lld B of L2 (capacity %lld B)",

@@ -12,6 +12,7 @@
 #include <map>
 
 #include "compiler/artifact.hpp"
+#include "hw/fault.hpp"
 #include "tensor/tensor.hpp"
 
 namespace htvm::runtime {
@@ -19,6 +20,21 @@ namespace htvm::runtime {
 struct ExecutorOptions {
   bool simulate_tiles = false;  // drive accel kernels tile by tile
   bool enforce_memory = true;   // fail like the board when L2 overflows
+};
+
+// Simulated-hardware context for one Run attempt. When `faults` is set, the
+// attempt consults the fault plan for its (soc, time window): a crash that
+// strikes before `end_us` or a transient window covering `start_us` makes
+// Run fail with a typed Unavailable status — recoverable error propagation
+// instead of an assert, so the serving fleet can retry or re-dispatch. The
+// scheduler and the runtime query the same injector with the same
+// arguments, which keeps the simulated-clock plan and the real execution
+// outcome consistent.
+struct RunContext {
+  const hw::FaultInjector* faults = nullptr;
+  int soc = 0;          // simulated SoC instance running the attempt
+  double start_us = 0;  // simulated attempt start
+  double end_us = 0;    // simulated attempt completion (if healthy)
 };
 
 struct ExecutionResult {
@@ -39,7 +55,8 @@ class Executor {
   explicit Executor(const compiler::Artifact* artifact,
                     ExecutorOptions options = {});
 
-  Result<ExecutionResult> Run(std::span<const Tensor> inputs) const;
+  Result<ExecutionResult> Run(std::span<const Tensor> inputs,
+                              const RunContext* ctx = nullptr) const;
 
  private:
   const compiler::Artifact* artifact_;  // non-owning; outlives the executor

@@ -14,6 +14,15 @@ std::string ServingMetrics::ToJson() const {
                    static_cast<long long>(exec_failures));
   out += StrFormat("  \"output_mismatches\": %lld,\n",
                    static_cast<long long>(output_mismatches));
+  out += StrFormat("  \"faults\": {\"retries\": %lld, \"redispatches\": %lld, "
+                   "\"evictions\": %lld, \"crashes\": %lld, \"lost\": %lld, "
+                   "\"fault_hits\": %lld},\n",
+                   static_cast<long long>(retries),
+                   static_cast<long long>(redispatches),
+                   static_cast<long long>(evictions),
+                   static_cast<long long>(crashes),
+                   static_cast<long long>(lost),
+                   static_cast<long long>(fault_hits));
   out += StrFormat("  \"batches\": %lld,\n", static_cast<long long>(batches));
   out += StrFormat("  \"max_batch_size\": %lld,\n",
                    static_cast<long long>(max_batch_size));
@@ -34,10 +43,13 @@ std::string ServingMetrics::ToJson() const {
     const SocStats& s = socs[i];
     out += StrFormat("    {\"soc\": %d, \"inferences\": %lld, "
                      "\"simulated_cycles\": %lld, \"busy_us\": %.1f, "
-                     "\"utilization\": %.4f}%s\n",
+                     "\"utilization\": %.4f, \"health\": \"%s\", "
+                     "\"failures\": %lld}%s\n",
                      s.soc, static_cast<long long>(s.inferences),
                      static_cast<long long>(s.simulated_cycles), s.busy_us,
-                     s.utilization, i + 1 < socs.size() ? "," : "");
+                     s.utilization, s.health.c_str(),
+                     static_cast<long long>(s.failures),
+                     i + 1 < socs.size() ? "," : "");
   }
   out += "  ]\n";
   out += "}\n";

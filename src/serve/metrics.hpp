@@ -20,6 +20,8 @@ struct SocStats {
   i64 simulated_cycles = 0;  // accumulated from real Executor runs
   double busy_us = 0;        // scheduler-side simulated busy time
   double utilization = 0;    // busy_us / makespan
+  std::string health = "healthy";  // healthy | degraded | dead
+  i64 failures = 0;          // failed attempts absorbed by this SoC
 };
 
 struct ServingMetrics {
@@ -32,6 +34,14 @@ struct ServingMetrics {
   i64 served = 0;
   i64 exec_failures = 0;
   i64 output_mismatches = 0;  // only populated when verify_outputs is on
+
+  // Fault handling (all zero when injection is off).
+  i64 retries = 0;       // failed attempts that were retried/re-dispatched
+  i64 redispatches = 0;  // batches moved to a different SoC
+  i64 evictions = 0;     // SoCs evicted by the circuit breaker
+  i64 crashes = 0;       // injected SoC crashes discovered by the fleet
+  i64 lost = 0;          // accepted requests lost (only if every SoC died)
+  i64 fault_hits = 0;    // injected faults surfaced by Executor::Run
 
   // Batching.
   i64 batches = 0;

@@ -5,38 +5,167 @@
 
 namespace htvm::serve {
 
+const char* SocHealthName(SocHealth health) {
+  switch (health) {
+    case SocHealth::kHealthy:
+      return "healthy";
+    case SocHealth::kDegraded:
+      return "degraded";
+    case SocHealth::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
 FleetScheduler::FleetScheduler(SchedulerOptions options)
     : options_(options),
       soc_free_us_(static_cast<size_t>(options.fleet_size), 0.0),
-      soc_busy_us_(static_cast<size_t>(options.fleet_size), 0.0) {
+      soc_busy_us_(static_cast<size_t>(options.fleet_size), 0.0),
+      health_(static_cast<size_t>(options.fleet_size)) {
   HTVM_CHECK(options_.fleet_size > 0);
   HTVM_CHECK(options_.queue_capacity > 0);
   HTVM_CHECK(options_.max_batch > 0);
+  if (options_.faults != nullptr) {
+    // Retry timing must advance the simulated clock, or the attempt loop
+    // could revisit the same instant forever.
+    HTVM_CHECK(options_.retry.detect_us > 0);
+    HTVM_CHECK(options_.retry.backoff_base_us > 0);
+    HTVM_CHECK(options_.retry.backoff_multiplier >= 1.0);
+    HTVM_CHECK(options_.retry.max_attempts_per_soc > 0);
+    HTVM_CHECK(options_.retry.breaker_threshold > 0);
+  }
 }
 
-int FleetScheduler::EarliestFreeSoc() const {
-  int best = 0;
-  for (int s = 1; s < options_.fleet_size; ++s) {
-    if (soc_free_us_[static_cast<size_t>(s)] <
-        soc_free_us_[static_cast<size_t>(best)]) {
+int FleetScheduler::EarliestLiveSoc() const {
+  int best = -1;
+  for (int s = 0; s < options_.fleet_size; ++s) {
+    if (Dead(s)) continue;
+    if (best < 0 || soc_free_us_[static_cast<size_t>(s)] <
+                        soc_free_us_[static_cast<size_t>(best)]) {
       best = s;
     }
   }
   return best;
 }
 
+void FleetScheduler::Occupy(int soc, double from_us, double to_us) {
+  soc_busy_us_[static_cast<size_t>(soc)] += to_us - from_us;
+  soc_free_us_[static_cast<size_t>(soc)] = to_us;
+}
+
+void FleetScheduler::MarkCrashed(int soc, double t_us) {
+  SocHealthState& h = health_[static_cast<size_t>(soc)];
+  if (h.health == SocHealth::kDead) return;
+  h.health = SocHealth::kDead;
+  h.crashed = true;
+  h.died_us = t_us;
+  ++crashes_;
+}
+
+void FleetScheduler::MarkDegraded(int soc) {
+  SocHealthState& h = health_[static_cast<size_t>(soc)];
+  if (h.health == SocHealth::kHealthy) h.health = SocHealth::kDegraded;
+}
+
+void FleetScheduler::RecordFailure(int soc, double t_us) {
+  SocHealthState& h = health_[static_cast<size_t>(soc)];
+  ++h.failures;
+  ++h.consecutive_failures;
+  MarkDegraded(soc);
+  if (h.consecutive_failures >= options_.retry.breaker_threshold &&
+      h.health != SocHealth::kDead) {
+    h.health = SocHealth::kDead;
+    h.evicted = true;
+    h.died_us = t_us;
+    ++evictions_;
+  }
+}
+
+bool FleetScheduler::SimulateAttempts(ScheduledBatch* batch, int soc,
+                                      double start_us, double service_us) {
+  const hw::FaultInjector* fi = options_.faults;
+  const RetryPolicy& rp = options_.retry;
+  int attempts_on_soc = 0;
+  double backoff = rp.backoff_base_us;
+
+  // Moves the batch to the earliest-free surviving SoC, not before
+  // `not_before_us`. Returns false when the whole fleet is dead.
+  const auto redispatch = [&](double not_before_us) {
+    const int next = EarliestLiveSoc();
+    if (next < 0) return false;
+    if (next != soc) ++redispatches_;
+    soc = next;
+    attempts_on_soc = 0;
+    backoff = rp.backoff_base_us;
+    start_us = std::max(soc_free_us_[static_cast<size_t>(soc)], not_before_us);
+    return true;
+  };
+
+  for (;;) {
+    if (fi != nullptr && fi->CrashedBy(soc, start_us)) {
+      // Dead at dispatch: the runtime call times out after detect_us.
+      MarkCrashed(soc, std::min(start_us, fi->CrashTimeUs(soc)));
+      batch->failed_attempts.push_back(BatchAttempt{
+          soc, start_us, start_us + rp.detect_us, hw::FaultKind::kCrash});
+      ++retries_;
+      if (!redispatch(start_us + rp.detect_us)) return false;
+      continue;
+    }
+    const double factor = fi != nullptr ? fi->SlowdownAt(soc, start_us) : 1.0;
+    if (factor > 1.0) MarkDegraded(soc);
+    const double service = service_us * factor;
+    if (fi != nullptr && fi->CrashedBy(soc, start_us + service)) {
+      // The SoC dies mid-run; the attempt is wasted up to the crash point.
+      const double crash_us = std::max(start_us, fi->CrashTimeUs(soc));
+      Occupy(soc, start_us, crash_us);
+      MarkCrashed(soc, crash_us);
+      batch->failed_attempts.push_back(BatchAttempt{
+          soc, start_us, start_us + service, hw::FaultKind::kCrash});
+      ++retries_;
+      if (!redispatch(crash_us + rp.detect_us)) return false;
+      continue;
+    }
+    if (fi != nullptr && fi->TransientAt(soc, start_us)) {
+      const double fail_us = start_us + rp.detect_us;
+      Occupy(soc, start_us, fail_us);
+      batch->failed_attempts.push_back(
+          BatchAttempt{soc, start_us, fail_us, hw::FaultKind::kTransient});
+      ++retries_;
+      RecordFailure(soc, fail_us);
+      ++attempts_on_soc;
+      if (Dead(soc) || attempts_on_soc >= rp.max_attempts_per_soc) {
+        if (!redispatch(fail_us)) return false;
+      } else {
+        // Exponential backoff on the same SoC walks the retry past the
+        // transient window deterministically.
+        start_us =
+            std::max(soc_free_us_[static_cast<size_t>(soc)], fail_us + backoff);
+        backoff *= rp.backoff_multiplier;
+      }
+      continue;
+    }
+    // Healthy attempt: the batch completes here.
+    health_[static_cast<size_t>(soc)].consecutive_failures = 0;
+    const double done = start_us + service;
+    Occupy(soc, start_us, done);
+    batch->soc = soc;
+    batch->start_us = start_us;
+    batch->done_us = done;
+    return true;
+  }
+}
+
 void FleetScheduler::DispatchUpTo(double now_us,
                                   std::vector<ScheduledBatch>* out) {
   while (!pending_.empty()) {
-    const int soc = EarliestFreeSoc();
+    const int soc = EarliestLiveSoc();
+    if (soc < 0) return;  // whole fleet dead; Flush accounts the losses
     const double start = std::max(soc_free_us_[static_cast<size_t>(soc)],
                                   pending_.front().request.arrival_us);
     if (start > now_us) break;
 
     ScheduledBatch batch;
-    batch.soc = soc;
     batch.model = pending_.front().request.model;
-    batch.start_us = start;
     double total_us = 0;
     while (!pending_.empty() &&
            static_cast<int>(batch.requests.size()) < options_.max_batch &&
@@ -50,11 +179,18 @@ void FleetScheduler::DispatchUpTo(double now_us,
       batch.requests.push_back(
           ScheduledRequest{p.request, p.service_us, start, 0.0});
     }
-    batch.done_us = start + total_us;
-    for (ScheduledRequest& r : batch.requests) r.done_us = batch.done_us;
 
-    soc_free_us_[static_cast<size_t>(soc)] = batch.done_us;
-    soc_busy_us_[static_cast<size_t>(soc)] += total_us;
+    if (!SimulateAttempts(&batch, soc, start, total_us)) {
+      // Every SoC died while the batch was retrying: the requests are lost
+      // (counted, never silently dropped) and nothing else can dispatch.
+      lost_ += static_cast<i64>(batch.requests.size());
+      return;
+    }
+    for (ScheduledRequest& r : batch.requests) {
+      r.start_us = batch.start_us;
+      r.done_us = batch.done_us;
+    }
+
     makespan_us_ = std::max(makespan_us_, batch.done_us);
     batches_ += 1;
     max_batch_size_ =
@@ -88,6 +224,12 @@ bool FleetScheduler::Offer(const InferRequest& request, double service_us,
 std::vector<ScheduledBatch> FleetScheduler::Flush() {
   std::vector<ScheduledBatch> out;
   DispatchUpTo(std::numeric_limits<double>::infinity(), &out);
+  if (!pending_.empty()) {
+    // Only reachable when the whole fleet died: account every stranded
+    // admitted request as lost rather than dropping it silently.
+    lost_ += static_cast<i64>(pending_.size());
+    pending_.clear();
+  }
   return out;
 }
 

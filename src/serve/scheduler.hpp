@@ -8,44 +8,95 @@
 // then applies admission control: if the FIFO is at capacity the request is
 // rejected (the caller surfaces a typed ResourceExhausted status).
 //
-// Dispatch pops from the FIFO head onto the earliest-free SoC; consecutive
-// same-model requests that have already arrived by the batch's start time
-// coalesce into one micro-batch (up to `max_batch`), saving
+// Dispatch pops from the FIFO head onto the earliest-free *live* SoC;
+// consecutive same-model requests that have already arrived by the batch's
+// start time coalesce into one micro-batch (up to `max_batch`), saving
 // `batch_saving_us` of runtime dispatch overhead for every request after
 // the first.
 //
+// Fault handling (when SchedulerOptions::faults is set): each batch is
+// simulated attempt by attempt against the fault plan. An attempt that
+// starts on a crashed SoC, is interrupted by a crash, or lands in a
+// transient-error window fails; the batch then retries with exponential
+// backoff on the same SoC and re-dispatches to the earliest-free surviving
+// SoC after the per-SoC retry budget is exhausted (or immediately, on a
+// crash). A circuit breaker evicts a SoC after `breaker_threshold`
+// consecutive failures so a flapping instance stops absorbing retries.
+// Every failed attempt is recorded on the batch so the worker pool can
+// replay it through Executor::Run and observe the same injected fault as a
+// typed Status. A request is lost only when every SoC is dead.
+//
 // Because all decisions happen at Offer/Flush time on the simulated clock,
-// request latencies, rejections and per-SoC busy time are a pure function
-// of the trace — worker threads then execute the dispatched batches for
-// real (bit-exact tensor compute) without influencing the metrics.
+// request latencies, rejections, retries, evictions and per-SoC busy time
+// are a pure function of the trace and the fault seed — worker threads then
+// execute the dispatched batches for real (bit-exact tensor compute)
+// without influencing the metrics.
 #pragma once
 
 #include <deque>
 #include <vector>
 
+#include "hw/fault.hpp"
 #include "serve/request.hpp"
 
 namespace htvm::serve {
+
+// Graceful-degradation knobs for retrying faulted attempts.
+struct RetryPolicy {
+  int max_attempts_per_soc = 3;    // transient retries before re-dispatch
+  double detect_us = 20.0;         // fault detection latency (DMA timeout)
+  double backoff_base_us = 50.0;   // first retry delay
+  double backoff_multiplier = 2.0; // exponential backoff growth
+  int breaker_threshold = 4;       // consecutive failures before eviction
+};
+
+enum class SocHealth : u8 { kHealthy, kDegraded, kDead };
+const char* SocHealthName(SocHealth health);
+
+// Per-SoC health as observed by the scheduler. `kDegraded` is sticky: a SoC
+// that ever absorbed a fault (and survived) stays marked for the final
+// report even when later attempts succeed.
+struct SocHealthState {
+  SocHealth health = SocHealth::kHealthy;
+  i64 failures = 0;              // failed attempts observed on this SoC
+  int consecutive_failures = 0;  // circuit-breaker window
+  bool crashed = false;          // dead via injected crash
+  bool evicted = false;          // dead via circuit breaker
+  double died_us = 0;            // simulated death time (dead only)
+};
 
 struct SchedulerOptions {
   int fleet_size = 1;
   int queue_capacity = 64;  // admitted-but-undispatched bound
   int max_batch = 1;        // 1 = micro-batching off
+  const hw::FaultInjector* faults = nullptr;  // nullptr = no injection
+  RetryPolicy retry;
 };
 
 struct ScheduledRequest {
   InferRequest request;
   double service_us = 0;  // this request's standalone service time
-  double start_us = 0;    // batch start on the assigned SoC
+  double start_us = 0;    // final attempt start on the assigned SoC
   double done_us = 0;     // batch completion (latency = done - arrival)
 };
 
-struct ScheduledBatch {
+// One failed execution attempt of a batch, kept so the worker pool can
+// replay it through Executor::Run (which consults the same fault plan and
+// fails with the same injected fault).
+struct BatchAttempt {
   int soc = 0;
+  double start_us = 0;
+  double end_us = 0;  // planned completion (crash) or detection time
+  hw::FaultKind cause = hw::FaultKind::kTransient;
+};
+
+struct ScheduledBatch {
+  int soc = 0;  // SoC of the final, successful attempt
   int model = 0;
   double start_us = 0;
   double done_us = 0;
   std::vector<ScheduledRequest> requests;
+  std::vector<BatchAttempt> failed_attempts;
 };
 
 class FleetScheduler {
@@ -61,7 +112,8 @@ class FleetScheduler {
   bool Offer(const InferRequest& request, double service_us,
              double batch_saving_us, std::vector<ScheduledBatch>* dispatched);
 
-  // Dispatches everything still pending (end of trace).
+  // Dispatches everything still pending (end of trace). Requests that
+  // cannot run because the whole fleet died are counted as lost.
   std::vector<ScheduledBatch> Flush();
 
   // --- statistics over the whole run (valid after Flush) ---
@@ -77,6 +129,14 @@ class FleetScheduler {
   double makespan_us() const { return makespan_us_; }
   const std::vector<double>& soc_busy_us() const { return soc_busy_us_; }
 
+  // --- fault-handling statistics ---
+  i64 retries() const { return retries_; }            // failed attempts
+  i64 redispatches() const { return redispatches_; }  // SoC switches
+  i64 evictions() const { return evictions_; }        // breaker evictions
+  i64 crashes() const { return crashes_; }            // discovered crashes
+  i64 lost() const { return lost_; }                  // whole fleet dead
+  const std::vector<SocHealthState>& soc_health() const { return health_; }
+
  private:
   struct Pending {
     InferRequest request;
@@ -85,11 +145,27 @@ class FleetScheduler {
   };
 
   void DispatchUpTo(double now_us, std::vector<ScheduledBatch>* out);
-  int EarliestFreeSoc() const;
+  // Simulates the batch's attempts against the fault plan starting on
+  // `soc` at `start_us`; fills the batch's final soc/start/done and its
+  // failed-attempt log. Returns false when every SoC died before the batch
+  // could complete (the batch's requests are lost).
+  bool SimulateAttempts(ScheduledBatch* batch, int soc, double start_us,
+                        double service_us);
+  // Earliest-free SoC among the still-live ones; -1 when all are dead.
+  int EarliestLiveSoc() const;
+  bool Dead(int soc) const {
+    return health_[static_cast<size_t>(soc)].health == SocHealth::kDead;
+  }
+  void Occupy(int soc, double from_us, double to_us);
+  void MarkCrashed(int soc, double t_us);
+  void MarkDegraded(int soc);
+  // Counts a transient failure; trips the circuit breaker at the threshold.
+  void RecordFailure(int soc, double t_us);
 
   SchedulerOptions options_;
   std::vector<double> soc_free_us_;
   std::vector<double> soc_busy_us_;
+  std::vector<SocHealthState> health_;
   std::deque<Pending> pending_;
   double last_arrival_us_ = 0;
   double makespan_us_ = 0;
@@ -101,6 +177,11 @@ class FleetScheduler {
   i64 max_queue_depth_ = 0;
   double depth_sum_ = 0;
   i64 depth_samples_ = 0;
+  i64 retries_ = 0;
+  i64 redispatches_ = 0;
+  i64 evictions_ = 0;
+  i64 crashes_ = 0;
+  i64 lost_ = 0;
 };
 
 }  // namespace htvm::serve

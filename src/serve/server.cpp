@@ -7,11 +7,32 @@
 #include "support/string_utils.hpp"
 
 namespace htvm::serve {
+namespace {
+
+hw::FaultInjector MakeInjector(const ServerOptions& options) {
+  if (!options.chaos.enabled) return {};
+  hw::FaultPlanOptions plan = options.chaos.plan;
+  plan.fleet_size = options.fleet_size;
+  return hw::FaultInjector::Generate(plan, options.chaos.seed);
+}
+
+SchedulerOptions MakeSchedulerOptions(const ServerOptions& options,
+                                      const hw::FaultInjector* faults) {
+  SchedulerOptions so;
+  so.fleet_size = options.fleet_size;
+  so.queue_capacity = options.queue_capacity;
+  so.max_batch = options.max_batch;
+  so.faults = options.chaos.enabled ? faults : nullptr;
+  so.retry = options.chaos.retry;
+  return so;
+}
+
+}  // namespace
 
 InferenceServer::InferenceServer(ServerOptions options)
     : options_(options),
-      scheduler_(SchedulerOptions{options.fleet_size, options.queue_capacity,
-                                  options.max_batch}),
+      faults_(MakeInjector(options)),
+      scheduler_(MakeSchedulerOptions(options, &faults_)),
       fleet_(options.fleet_size),
       // The exec queue throttles the (real-time) submitter against the
       // (real-time) workers; admission control happened already, so Push
@@ -134,6 +155,12 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
   m.served = served_.load();
   m.exec_failures = exec_failures_.load();
   m.output_mismatches = output_mismatches_.load();
+  m.retries = scheduler_.retries();
+  m.redispatches = scheduler_.redispatches();
+  m.evictions = scheduler_.evictions();
+  m.crashes = scheduler_.crashes();
+  m.lost = scheduler_.lost();
+  m.fault_hits = fault_hits_.load();
   m.batches = scheduler_.batches();
   m.max_batch_size = scheduler_.max_batch_size();
   m.mean_batch_size =
@@ -156,6 +183,7 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
 
   const double makespan_us = scheduler_.makespan_us();
   const auto& busy = scheduler_.soc_busy_us();
+  const auto& health = scheduler_.soc_health();
   for (int s = 0; s < fleet_.size(); ++s) {
     SocStats stats;
     stats.soc = s;
@@ -163,17 +191,42 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
     stats.simulated_cycles = fleet_.at(s).simulated_cycles();
     stats.busy_us = busy[static_cast<size_t>(s)];
     stats.utilization = makespan_us > 0 ? stats.busy_us / makespan_us : 0.0;
+    stats.health = SocHealthName(health[static_cast<size_t>(s)].health);
+    stats.failures = health[static_cast<size_t>(s)].failures;
     m.socs.push_back(stats);
   }
   return m;
 }
 
 void InferenceServer::WorkerLoop() {
+  const bool chaos = options_.chaos.enabled;
   while (auto batch = exec_queue_.Pop()) {
     const ModelEntry& entry = models_[static_cast<size_t>(batch->model)];
+    // Replay the failed attempts the scheduler logged: each one drives
+    // Executor::Run with the attempt's simulated (soc, window) so the
+    // runtime consults the same fault plan and fails with the same typed
+    // Unavailable status the fleet retried on. An attempt that does NOT
+    // fail here would mean the scheduler and the runtime disagree about
+    // the plan — counted as an execution failure so tests catch it.
+    for (const BatchAttempt& attempt : batch->failed_attempts) {
+      const runtime::RunContext ctx{&faults_, attempt.soc, attempt.start_us,
+                                    attempt.end_us};
+      auto injected = entry.executor->Run(entry.inputs, &ctx);
+      if (injected.ok() ||
+          injected.status().code() != StatusCode::kUnavailable) {
+        HTVM_ELOG << "serve: injected fault on soc " << attempt.soc
+                  << " did not surface as UNAVAILABLE";
+        exec_failures_.fetch_add(1);
+      } else {
+        fault_hits_.fetch_add(1);
+      }
+    }
+    const runtime::RunContext final_ctx{&faults_, batch->soc, batch->start_us,
+                                        batch->done_us};
     SocInstance& soc = fleet_.at(batch->soc);
     for (size_t i = 0; i < batch->requests.size(); ++i) {
-      auto result = entry.executor->Run(entry.inputs);
+      auto result = entry.executor->Run(entry.inputs,
+                                        chaos ? &final_ctx : nullptr);
       if (!result.ok()) {
         HTVM_ELOG << "serve: execution failed on soc " << soc.id() << ": "
                   << result.status().ToString();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "compiler/artifact.hpp"
+#include "hw/fault.hpp"
 #include "runtime/executor.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
@@ -33,6 +34,17 @@
 #include "support/histogram.hpp"
 
 namespace htvm::serve {
+
+// Chaos mode: a fault plan is generated from `seed` (deterministic on the
+// simulated clock) and every dispatch decision plus every Executor::Run
+// attempt is made against it. `plan.fleet_size` is overwritten with the
+// server's fleet size.
+struct ChaosOptions {
+  bool enabled = false;
+  u64 seed = 7;
+  hw::FaultPlanOptions plan;
+  RetryPolicy retry;
+};
 
 struct ServerOptions {
   int fleet_size = 1;
@@ -44,6 +56,7 @@ struct ServerOptions {
   // race-free and bit-exact.
   bool verify_outputs = false;
   runtime::ExecutorOptions executor;
+  ChaosOptions chaos;
 };
 
 class InferenceServer {
@@ -82,6 +95,8 @@ class InferenceServer {
   double ServiceUs(int model) const {
     return models_[static_cast<size_t>(model)].service_us;
   }
+  // The generated fault plan (empty unless chaos is enabled).
+  const hw::FaultInjector& faults() const { return faults_; }
 
  private:
   struct ModelEntry {
@@ -102,6 +117,10 @@ class InferenceServer {
   ServerOptions options_;
   std::vector<ModelEntry> models_;
 
+  // Immutable after construction; scheduler and workers share it. Must be
+  // declared before scheduler_ (which keeps a pointer to it).
+  hw::FaultInjector faults_;
+
   std::mutex mu_;  // guards scheduler_, latency_, offered id counter
   FleetScheduler scheduler_;
   LatencyHistogram latency_;
@@ -113,6 +132,7 @@ class InferenceServer {
   std::atomic<i64> served_{0};
   std::atomic<i64> exec_failures_{0};
   std::atomic<i64> output_mismatches_{0};
+  std::atomic<i64> fault_hits_{0};  // injected faults surfaced by Run
   bool started_ = false;
   bool drained_ = false;
 };

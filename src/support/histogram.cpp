@@ -40,8 +40,13 @@ double BucketUpperBound(int index) {
 LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
 
 void LatencyHistogram::Record(double value) {
-  if (value < 0.0) value = 0.0;
-  const u64 v = value < 1.0 ? 1 : static_cast<u64>(std::llround(value));
+  if (!(value >= 0.0)) value = 0.0;  // negatives and NaN clamp to zero
+  // llround is undefined for values outside the i64 range; clamp the
+  // *bucketed* value into it so extreme recordings land in the top bucket
+  // while the exact min/max/sum side-channel keeps the true value.
+  constexpr double kMaxBucketable = 9.0e18;  // < 2^63 - 1
+  const double bucketed = value < kMaxBucketable ? value : kMaxBucketable;
+  const u64 v = bucketed < 1.0 ? 1 : static_cast<u64>(std::llround(bucketed));
   ++buckets_[static_cast<size_t>(BucketIndex(v))];
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted, // memory budget exceeded (L1 tiling, L2 planning)
   kNotFound,          // lookup misses (op registry, node ids)
   kInternal,          // invariant violation surfaced as recoverable error
+  kUnavailable,       // hardware fault: SoC crash, DMA/accelerator error
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -47,6 +48,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,145 @@
+// Golden-file regression tests for the emitted C sources.
+//
+// The structural codegen tests (c_codegen_test.cpp) check that key
+// constructs exist; these tests pin the *entire* emitted artifact so an
+// accidental formatting, ordering or numbering change in tvmgen/dory
+// codegen shows up as a readable diff against tests/golden/.
+//
+// When a codegen change is intentional, regenerate the references with
+//
+//   ./codegen_golden_test --update-golden        # or
+//   HTVM_UPDATE_GOLDEN=1 ctest -R codegen_golden
+//
+// and commit the rewritten files under tests/golden/ with the change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/emit.hpp"
+#include "compiler/pipeline.hpp"
+#include "models/layer_zoo.hpp"
+#include "support/string_utils.hpp"
+
+#ifndef HTVM_GOLDEN_DIR
+#error "HTVM_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace htvm {
+namespace {
+
+bool g_update_golden = false;
+
+std::string GoldenPath(const std::string& filename) {
+  return std::string(HTVM_GOLDEN_DIR) + "/" + filename;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Line/column of the first difference, for a readable failure message.
+std::string FirstDiff(const std::string& got, const std::string& want) {
+  size_t i = 0;
+  size_t line = 1, col = 1;
+  while (i < got.size() && i < want.size() && got[i] == want[i]) {
+    if (got[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  }
+  if (i == got.size() && i == want.size()) return "identical";
+  const auto context = [&](const std::string& s) {
+    const size_t begin = s.rfind('\n', i == 0 ? 0 : i - 1);
+    const size_t start = begin == std::string::npos ? 0 : begin + 1;
+    return s.substr(start, std::min<size_t>(80, s.size() - start));
+  };
+  return StrFormat("first difference at line %zu col %zu\n  golden: %s\n  "
+                   "emitted: %s",
+                   line, col, context(want).c_str(), context(got).c_str());
+}
+
+void CheckAgainstGolden(const compiler::EmittedArtifact& emitted,
+                        const std::string& prefix) {
+  for (const auto& [filename, contents] : emitted.files) {
+    const std::string path = GoldenPath(prefix + "." + filename);
+    if (g_update_golden) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << contents;
+      continue;
+    }
+    auto golden = ReadFile(path);
+    ASSERT_TRUE(golden.ok())
+        << golden.status().ToString()
+        << "\n(run with --update-golden to generate the reference)";
+    EXPECT_EQ(contents, *golden)
+        << "emitted " << filename << " drifted from " << path << "\n"
+        << FirstDiff(contents, *golden)
+        << "\nIf the change is intentional, regenerate with --update-golden "
+           "and commit the diff.";
+  }
+}
+
+compiler::EmittedArtifact MustEmit(const Graph& g,
+                                   const compiler::CompileOptions& opt,
+                                   const std::string& net_name) {
+  auto artifact = compiler::HtvmCompiler{opt}.Compile(g);
+  HTVM_CHECK_MSG(artifact.ok(), "compile failed");
+  auto emitted = compiler::EmitArtifactC(*artifact, net_name);
+  HTVM_CHECK_MSG(emitted.ok(), "emit failed");
+  return std::move(*emitted);
+}
+
+TEST(CodegenGolden, DigitalConvLayerArtifactIsStable) {
+  models::ConvLayerParams p;
+  p.c = 16;
+  p.k = 16;
+  p.iy = p.ix = 16;
+  compiler::CompileOptions opt = compiler::CompileOptions::DigitalOnly();
+  opt.tiler.l1_budget_bytes = 8 * 1024;  // forces a tiled accelerator path
+  const auto emitted =
+      MustEmit(models::MakeConvLayerGraph(p), opt, "golden_digital_conv");
+  // The artifact shape itself is part of the contract.
+  ASSERT_EQ(emitted.files.size(), 3u);
+  ASSERT_TRUE(emitted.files.count("golden_digital_conv.c"));
+  ASSERT_TRUE(emitted.files.count("golden_digital_conv.h"));
+  ASSERT_TRUE(emitted.files.count("htvm_runtime.h"));
+  CheckAgainstGolden(emitted, "digital_conv");
+}
+
+TEST(CodegenGolden, CpuDenseLayerArtifactIsStable) {
+  const Graph g = models::MakeDenseLayerGraph(64, 10);
+  const auto emitted = MustEmit(g, compiler::CompileOptions::PlainTvm(),
+                                "golden_cpu_dense");
+  ASSERT_TRUE(emitted.files.count("golden_cpu_dense.c"));
+  CheckAgainstGolden(emitted, "cpu_dense");
+}
+
+}  // namespace
+}  // namespace htvm
+
+// Custom main: gtest_main's main() is only linked when none is defined, so
+// providing one here is safe and gives us the --update-golden escape hatch.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      htvm::g_update_golden = true;
+    }
+  }
+  const char* env = std::getenv("HTVM_UPDATE_GOLDEN");
+  if (env != nullptr && std::string(env) == "1") {
+    htvm::g_update_golden = true;
+  }
+  return RUN_ALL_TESTS();
+}

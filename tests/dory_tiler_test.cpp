@@ -2,6 +2,9 @@
 
 #include "dory/schedule.hpp"
 #include "models/layer_zoo.hpp"
+#include "support/math_utils.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
 
 namespace htvm::dory {
 namespace {
@@ -220,6 +223,171 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{3, 16, 32, 4 * 1024},
                       SweepCase{96, 96, 16, 12 * 1024},
                       SweepCase{64, 64, 64, 256 * 1024}));
+
+// ---------------------------------------------------------------------------
+// Property-based tests: random layer geometries from a seeded Rng. Either
+// the solver reports ResourceExhausted, or the solution must satisfy the
+// structural invariants — no hand-picked geometry, so these catch corner
+// cases (prime dims, stride-2 halos, tiny budgets) the sweep above misses.
+// ---------------------------------------------------------------------------
+
+ConvLayerParams RandomConvParams(Rng& rng) {
+  ConvLayerParams p;
+  p.c = rng.UniformInt(1, 128);
+  p.k = rng.UniformInt(1, 128);
+  p.iy = rng.UniformInt(3, 64);
+  p.ix = rng.UniformInt(3, 64);
+  p.kh = p.kw = rng.UniformInt(0, 1) ? 3 : 1;
+  p.stride = rng.UniformInt(0, 3) ? 1 : 2;
+  p.same_padding = rng.UniformInt(0, 1) == 1;
+  if (rng.UniformInt(0, 4) == 0) {
+    p.depthwise = true;
+    p.k = p.c;
+    p.kh = p.kw = 3;
+  }
+  return p;
+}
+
+// The structural invariants every accepted solution must satisfy:
+// tiles fit in L1, the grid covers the tensor exactly once (n_* is the
+// ceiling division, so no tile is dropped and none is scheduled twice),
+// and no tile dimension collapses to zero.
+void CheckSolutionInvariants(const AccelLayerSpec& spec,
+                             const TileSolution& sol, i64 budget,
+                             const std::string& context) {
+  // Eq. 2: the live buffer set fits strictly inside the budget.
+  EXPECT_LT(sol.l1_bytes, budget) << context;
+  EXPECT_GT(sol.l1_bytes, 0) << context;
+
+  // No zero-size tiles, and no tile exceeds the layer dimension.
+  EXPECT_GE(sol.c_t, 1) << context;
+  EXPECT_GE(sol.k_t, 1) << context;
+  EXPECT_GE(sol.oy_t, 1) << context;
+  EXPECT_GE(sol.ox_t, 1) << context;
+  EXPECT_LE(sol.c_t, spec.c) << context;
+  EXPECT_LE(sol.k_t, spec.k) << context;
+  EXPECT_LE(sol.oy_t, spec.oy) << context;
+  EXPECT_LE(sol.ox_t, spec.ox) << context;
+
+  // Exactly-once coverage: the grid is the ceiling division of each dim,
+  // so (n-1) full tiles plus a final (possibly partial, non-empty) tile
+  // tile the tensor with no overlap and no gap. For dwconv/add the output
+  // channels ride with the input channels (k_t == c_t), so their k grid is
+  // the c grid and n_k stays 1.
+  const bool k_follows_c =
+      spec.kind == LayerKind::kDwConv2d || spec.kind == LayerKind::kAdd;
+  EXPECT_EQ(sol.n_c, CeilDiv(spec.c, sol.c_t)) << context;
+  EXPECT_EQ(sol.n_k, k_follows_c ? 1 : CeilDiv(spec.k, sol.k_t)) << context;
+  EXPECT_EQ(sol.n_y, CeilDiv(spec.oy, sol.oy_t)) << context;
+  EXPECT_EQ(sol.n_x, CeilDiv(spec.ox, sol.ox_t)) << context;
+  EXPECT_GT(spec.c - (sol.n_c - 1) * sol.c_t, 0) << context;
+  if (!k_follows_c) {
+    EXPECT_GT(spec.k - (sol.n_k - 1) * sol.k_t, 0) << context;
+  }
+  EXPECT_GT(spec.oy - (sol.n_y - 1) * sol.oy_t, 0) << context;
+  EXPECT_GT(spec.ox - (sol.n_x - 1) * sol.ox_t, 0) << context;
+
+  // An untiled solution must be the whole layer; a tiled one must not be.
+  if (!sol.needs_tiling) {
+    EXPECT_EQ(sol.TileCount(), 1) << context;
+    EXPECT_EQ(sol.c_t, spec.c) << context;
+    EXPECT_EQ(sol.k_t, spec.k) << context;
+  } else {
+    EXPECT_GT(sol.TileCount(), 1) << context;
+  }
+
+  // psum accounting is tied to channel tiling for reducing kinds.
+  if (sol.psum) EXPECT_LT(sol.c_t, spec.c) << context;
+}
+
+TEST(TilerProperty, RandomConvLayersSatisfyInvariants) {
+  Rng rng(0xD0121ull);
+  const i64 budgets[] = {2 * 1024, 8 * 1024, 32 * 1024, 256 * 1024};
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const ConvLayerParams p = RandomConvParams(rng);
+    const auto spec = MakeConvSpec(p);
+    const i64 budget = budgets[trial % 4];
+    const std::string context = StrFormat(
+        "trial %d: c=%lld k=%lld iy=%lld ix=%lld kh=%lld s=%lld dw=%d "
+        "budget=%lld",
+        trial, p.c, p.k, p.iy, p.ix, p.kh, p.stride, p.depthwise ? 1 : 0,
+        budget);
+    auto sol = SolveTiling(spec, kCfg, AccelTarget::kDigital,
+                           WithBudget(budget));
+    if (!sol.ok()) {
+      // The only acceptable failure is a typed resource-exhausted report.
+      EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted)
+          << context;
+      continue;
+    }
+    ++solved;
+    CheckSolutionInvariants(spec, *sol, budget, context);
+    if (spec.kind == LayerKind::kDwConv2d) {
+      EXPECT_EQ(sol->k_t, sol->c_t) << context;
+      EXPECT_EQ(sol->n_k, 1) << context;
+      EXPECT_FALSE(sol->psum) << context;
+    }
+  }
+  // The generator must actually exercise the solver, not just the
+  // infeasible path.
+  EXPECT_GT(solved, 100);
+}
+
+TEST(TilerProperty, RandomAnalogLayersNeverTileChannels) {
+  Rng rng(0xA7A106ull);
+  int solved = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    ConvLayerParams p = RandomConvParams(rng);
+    p.depthwise = false;
+    p.k = rng.UniformInt(1, 128);
+    p.weight_dtype = DType::kTernary;
+    const auto spec = MakeConvSpec(p);
+    const i64 budget = 32 * 1024;
+    const std::string context =
+        StrFormat("trial %d: c=%lld k=%lld iy=%lld ix=%lld", trial, p.c, p.k,
+                  p.iy, p.ix);
+    auto sol =
+        SolveTiling(spec, kCfg, AccelTarget::kAnalog, WithBudget(budget));
+    if (!sol.ok()) {
+      EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted)
+          << context;
+      continue;
+    }
+    ++solved;
+    CheckSolutionInvariants(spec, *sol, budget, context);
+    // The analog macro spatially unrolls the full input patch: channels are
+    // never split and there are no partial sums.
+    EXPECT_EQ(sol->c_t, spec.c) << context;
+    EXPECT_EQ(sol->n_c, 1) << context;
+    EXPECT_FALSE(sol->psum) << context;
+  }
+  EXPECT_GT(solved, 30);
+}
+
+TEST(TilerProperty, RandomDenseLayersSatisfyInvariants) {
+  Rng rng(0xDE25Eull);
+  int solved = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const i64 in = rng.UniformInt(1, 2048);
+    const i64 out = rng.UniformInt(1, 512);
+    const auto spec = MakeDenseSpec(in, out);
+    const i64 budget = (trial % 2) ? 16 * 1024 : 64 * 1024;
+    const std::string context =
+        StrFormat("trial %d: in=%lld out=%lld budget=%lld", trial, in, out,
+                  budget);
+    auto sol =
+        SolveTiling(spec, kCfg, AccelTarget::kDigital, WithBudget(budget));
+    if (!sol.ok()) {
+      EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted)
+          << context;
+      continue;
+    }
+    ++solved;
+    CheckSolutionInvariants(spec, *sol, budget, context);
+  }
+  EXPECT_GT(solved, 50);
+}
 
 }  // namespace
 }  // namespace htvm::dory

@@ -1,0 +1,5 @@
+#ifndef golden_cpu_dense_H_
+#define golden_cpu_dense_H_
+#include <stdint.h>
+void golden_cpu_dense_run(const int8_t* input0, int8_t* output);
+#endif

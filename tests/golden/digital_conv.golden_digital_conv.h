@@ -1,0 +1,5 @@
+#ifndef golden_digital_conv_H_
+#define golden_digital_conv_H_
+#include <stdint.h>
+void golden_digital_conv_run(const int8_t* input0, int8_t* output);
+#endif

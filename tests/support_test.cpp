@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "hw/perf.hpp"
+#include "support/histogram.hpp"
 #include "support/math_utils.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
@@ -124,6 +129,183 @@ TEST(StringUtils, JoinAndVec) {
 TEST(StringUtils, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512 B");
   EXPECT_EQ(HumanBytes(256 * 1024), "256.0 kB");
+}
+
+// --------------------------------------------------------- LatencyHistogram
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  // Percentiles of an empty histogram are 0, not garbage or a crash.
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 0.0) << "p" << p;
+  }
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(123.4);
+  EXPECT_EQ(h.count(), 1);
+  // With one sample the bucket bound is clamped to the exact value, so
+  // every percentile — including p99 — is that sample.
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 123.4) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 123.4);
+}
+
+TEST(Histogram, PercentileIsMonotoneAndBounded) {
+  LatencyHistogram h;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(static_cast<double>(rng.UniformInt(1, 100000)));
+  }
+  double prev = h.Percentile(0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "p" << p;
+    EXPECT_GE(cur, h.min());
+    EXPECT_LE(cur, h.max());
+    prev = cur;
+  }
+}
+
+TEST(Histogram, OverflowValuesLandInTopBucketWithExactExtremes) {
+  // Values beyond the i64 range would be UB in llround; the bucketed value
+  // clamps while min/max/sum stay exact.
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(1e300);
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_TRUE(std::isinf(h.max()));
+  // Percentiles stay within [min, max] and monotone even with the extreme
+  // recordings present.
+  EXPECT_GE(h.Percentile(50.0), h.min());
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), h.max());
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(99.0));
+}
+
+TEST(Histogram, NegativeAndNanClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, MergeMatchesSequentialRecording) {
+  LatencyHistogram a, b, all;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(1, 10000));
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), all.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(Histogram, MergeWithEmptySidesIsIdentity) {
+  LatencyHistogram h, empty;
+  h.Record(7.0);
+  h.Merge(empty);  // right identity
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  LatencyHistogram target;
+  target.Merge(h);  // left identity
+  EXPECT_EQ(target.count(), 1);
+  EXPECT_DOUBLE_EQ(target.min(), 7.0);
+  EXPECT_DOUBLE_EQ(target.max(), 7.0);
+}
+
+// --------------------------------------------------- hw::RunProfile merging
+
+hw::KernelPerf MakeKernel(const std::string& name, i64 cycles, i64 tiles) {
+  hw::KernelPerf k;
+  k.name = name;
+  k.target = "digital";
+  k.macs = cycles * 8;
+  k.peak_cycles = cycles / 2;
+  k.full_cycles = cycles;
+  k.compute_cycles = cycles / 2;
+  k.act_dma_cycles = cycles / 4;
+  k.overhead_cycles = cycles - cycles / 2 - cycles / 4;
+  k.tiles = tiles;
+  return k;
+}
+
+TEST(RunProfile, AccumulateMatchesByNameAndSumsCounters) {
+  hw::RunProfile base;
+  base.kernels = {MakeKernel("conv#0", 1000, 4), MakeKernel("dense#1", 200, 1)};
+  hw::RunProfile other;
+  other.kernels = {MakeKernel("conv#0", 500, 2)};
+  base.Accumulate(other);
+  ASSERT_EQ(base.kernels.size(), 2u);
+  EXPECT_EQ(base.kernels[0].full_cycles, 1500);
+  EXPECT_EQ(base.kernels[0].macs, 1500 * 8);
+  EXPECT_EQ(base.kernels[0].tiles, 6);
+  EXPECT_EQ(base.kernels[1].full_cycles, 200);  // untouched
+  EXPECT_EQ(base.TotalFullCycles(), 1700);
+}
+
+TEST(RunProfile, AccumulateAppendsUnknownKernels) {
+  hw::RunProfile base;
+  base.kernels = {MakeKernel("conv#0", 1000, 4)};
+  hw::RunProfile other;
+  other.kernels = {MakeKernel("add#2", 50, 1)};
+  base.Accumulate(other);
+  ASSERT_EQ(base.kernels.size(), 2u);
+  EXPECT_EQ(base.kernels[1].name, "add#2");
+  EXPECT_EQ(base.kernels[1].full_cycles, 50);
+}
+
+TEST(RunProfile, AccumulateEmptyIsIdentityBothWays) {
+  hw::RunProfile base;
+  base.kernels = {MakeKernel("conv#0", 1000, 4)};
+  const i64 before = base.TotalFullCycles();
+  base.Accumulate(hw::RunProfile{});
+  EXPECT_EQ(base.TotalFullCycles(), before);
+  hw::RunProfile empty;
+  empty.Accumulate(base);
+  ASSERT_EQ(empty.kernels.size(), 1u);
+  EXPECT_EQ(empty.TotalFullCycles(), before);
+}
+
+TEST(RunProfile, AccumulateIsAssociativeAcrossInstances) {
+  // Fleet semantics: per-SoC profiles merged in any grouping give the same
+  // totals.
+  const hw::RunProfile a{{MakeKernel("conv#0", 100, 1)}};
+  const hw::RunProfile b{{MakeKernel("conv#0", 200, 2)}};
+  const hw::RunProfile c{{MakeKernel("dense#1", 300, 1)}};
+  hw::RunProfile left;
+  left.Accumulate(a);
+  left.Accumulate(b);
+  left.Accumulate(c);
+  hw::RunProfile right;
+  hw::RunProfile bc;
+  bc.Accumulate(b);
+  bc.Accumulate(c);
+  right.Accumulate(a);
+  right.Accumulate(bc);
+  EXPECT_EQ(left.TotalFullCycles(), right.TotalFullCycles());
+  EXPECT_EQ(left.TotalMacs(), right.TotalMacs());
+  ASSERT_EQ(left.kernels.size(), right.kernels.size());
+  for (size_t i = 0; i < left.kernels.size(); ++i) {
+    EXPECT_EQ(left.kernels[i].name, right.kernels[i].name);
+    EXPECT_EQ(left.kernels[i].full_cycles, right.kernels[i].full_cycles);
+  }
 }
 
 }  // namespace

@@ -36,6 +36,10 @@ struct ServeCliOptions {
   u64 seed = 7;
   bool verify = false;
   bool help = false;
+  bool chaos = false;
+  double crash_frac = 0.3;
+  double transient_rate = 2.0;  // windows per SoC-second
+  double slow_frac = 0.25;
 };
 
 void PrintUsage() {
@@ -53,6 +57,13 @@ options:
   --threads <n>              worker threads (default: one per SoC)
   --seed <n>                 trace seed (metrics are deterministic in it)
   --verify                   check every output against the reference run
+  --chaos                    inject seeded SoC faults (crashes, transient
+                             DMA/accelerator errors, latency spikes); the
+                             fleet retries, re-dispatches and evicts —
+                             metrics stay deterministic in --seed
+  --crash-frac <f>           fraction of the fleet crashing mid-run (0.3)
+  --transient-rate <hz>      transient fault windows per SoC-second (2)
+  --slow-frac <f>            fraction of the fleet with a latency spike (0.25)
   --help                     this text
 )");
 }
@@ -116,6 +127,26 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
       opt.seed = static_cast<u64>(std::atoll(v.c_str()));
     } else if (arg == "--verify") {
       opt.verify = true;
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--crash-frac") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.crash_frac = std::atof(v.c_str());
+      if (opt.crash_frac < 0 || opt.crash_frac > 1) {
+        return Status::InvalidArgument("bad --crash-frac value");
+      }
+    } else if (arg == "--transient-rate") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.transient_rate = std::atof(v.c_str());
+      if (opt.transient_rate < 0) {
+        return Status::InvalidArgument("bad --transient-rate value");
+      }
+    } else if (arg == "--slow-frac") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.slow_frac = std::atof(v.c_str());
+      if (opt.slow_frac < 0 || opt.slow_frac > 1) {
+        return Status::InvalidArgument("bad --slow-frac value");
+      }
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -176,6 +207,14 @@ int main(int argc, char** argv) {
   server_options.worker_threads = opt.threads;
   server_options.max_batch = opt.batch;
   server_options.verify_outputs = opt.verify;
+  if (opt.chaos) {
+    server_options.chaos.enabled = true;
+    server_options.chaos.seed = opt.seed;
+    server_options.chaos.plan.horizon_us = opt.duration_s * 1e6;
+    server_options.chaos.plan.crash_fraction = opt.crash_frac;
+    server_options.chaos.plan.transient_rate_hz = opt.transient_rate;
+    server_options.chaos.plan.slow_fraction = opt.slow_frac;
+  }
   serve::InferenceServer server(server_options);
 
   for (const std::string& name : opt.models) {
@@ -203,6 +242,10 @@ int main(int argc, char** argv) {
                  name.c_str(), opt.config.c_str(), server.ServiceUs(*handle));
   }
 
+  if (opt.chaos) {
+    std::fprintf(stderr, "htvm-serve: chaos plan: %s\n",
+                 server.faults().Summary().c_str());
+  }
   const auto trace = serve::PoissonTrace(opt.qps, opt.duration_s, opt.seed,
                                          server.num_models());
   server.Start();
@@ -212,10 +255,24 @@ int main(int argc, char** argv) {
   }
   const serve::ServingMetrics metrics = server.Drain(opt.duration_s);
   std::printf("%s", metrics.ToJson().c_str());
-  if (metrics.exec_failures > 0 || metrics.output_mismatches > 0) {
-    std::fprintf(stderr, "htvm-serve: %lld failures, %lld mismatches\n",
+  if (opt.chaos) {
+    std::fprintf(stderr,
+                 "htvm-serve: chaos seed %llu — %lld retries, %lld "
+                 "re-dispatches, %lld evictions, %lld crashes, %lld lost\n",
+                 static_cast<unsigned long long>(opt.seed),
+                 static_cast<long long>(metrics.retries),
+                 static_cast<long long>(metrics.redispatches),
+                 static_cast<long long>(metrics.evictions),
+                 static_cast<long long>(metrics.crashes),
+                 static_cast<long long>(metrics.lost));
+  }
+  if (metrics.exec_failures > 0 || metrics.output_mismatches > 0 ||
+      metrics.lost > 0) {
+    std::fprintf(stderr, "htvm-serve: %lld failures, %lld mismatches, "
+                 "%lld lost\n",
                  static_cast<long long>(metrics.exec_failures),
-                 static_cast<long long>(metrics.output_mismatches));
+                 static_cast<long long>(metrics.output_mismatches),
+                 static_cast<long long>(metrics.lost));
     return 1;
   }
   return 0;
