@@ -2,8 +2,17 @@
 // ahead of time with no autotuning (Sec. II-B), so compile time is the only
 // "tuning" cost a user pays. Measures the full pipeline (constant folding,
 // pattern dispatch, DORY tiling search, memory planning) per network.
+//
+// `--smoke` skips the benchmark loop and instead compiles each network once,
+// printing the PassManager's per-pass wall-clock / node-delta breakdown —
+// cheap enough for CI, so per-pass compile-time regressions are visible in
+// every run.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
+#include "compiler/pass_manager.hpp"
 #include "compiler/pipeline.hpp"
 #include "models/mlperf_tiny.hpp"
 
@@ -22,12 +31,44 @@ void BM_CompileNetwork(benchmark::State& state,
   }
 }
 
+int RunSmoke() {
+  struct Case {
+    const char* name;
+    Graph (*build)(models::PrecisionPolicy);
+    models::PrecisionPolicy policy;
+    compiler::CompileOptions opt;
+  };
+  const Case cases[] = {
+      {"resnet/mixed", &models::BuildResNet8, models::PrecisionPolicy::kMixed,
+       compiler::CompileOptions{}},
+      {"resnet/digital", &models::BuildResNet8,
+       models::PrecisionPolicy::kInt8,
+       compiler::CompileOptions::DigitalOnly()},
+      {"dscnn/mixed", &models::BuildDsCnn, models::PrecisionPolicy::kMixed,
+       compiler::CompileOptions{}},
+  };
+  for (const Case& c : cases) {
+    auto art = compiler::HtvmCompiler{c.opt}.Compile(c.build(c.policy));
+    if (!art.ok()) {
+      std::fprintf(stderr, "compile %s failed: %s\n", c.name,
+                   art.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("== compile %s ==\n%s\n", c.name,
+                compiler::PassTimelineToTable(art->pass_timeline).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace htvm
 
 int main(int argc, char** argv) {
   using namespace htvm;
   using models::PrecisionPolicy;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
   const auto digital = compiler::CompileOptions::DigitalOnly();
   const auto both = compiler::CompileOptions{};
 

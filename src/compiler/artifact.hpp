@@ -43,10 +43,21 @@ struct MemoryPlan {
   bool reuse = true;         // liveness-based reuse was enabled
 };
 
+// Wall-clock timing and top-level node-count delta of one compile pass, in
+// pipeline order (recorded by the PassManager).
+struct PassStat {
+  std::string name;
+  i64 wall_ns = 0;       // steady-clock duration of the pass
+  i64 nodes_before = 0;  // state.graph size entering the pass
+  i64 nodes_after = 0;   // ... and leaving it
+};
+using PassTimeline = std::vector<PassStat>;
+
 struct Artifact {
   Graph kernel_graph;  // inputs + constants + composites only
   std::vector<CompiledKernel> kernels;  // execution order
   DispatchLog dispatch_log;  // per-match accept/reject decisions
+  PassTimeline pass_timeline;  // per-pass compile-time instrumentation
   MemoryPlan memory_plan;
   tvmgen::BinarySizeReport size;
   hw::DianaConfig hw_config;

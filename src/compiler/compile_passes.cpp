@@ -1,0 +1,196 @@
+#include "compiler/compile_passes.hpp"
+
+#include "compiler/memory_planner.hpp"
+#include "dory/weight_layout.hpp"
+#include "ir/passes.hpp"
+#include "nn/interpreter.hpp"
+#include "support/logging.hpp"
+#include "support/string_utils.hpp"
+#include "tvmgen/cost_model.hpp"
+#include "tvmgen/fusion.hpp"
+
+namespace htvm::compiler {
+namespace {
+
+// Front-end optimization (Fig. 1 "initial optimizations"): fold explicit
+// TFLite-style PAD ops into conv attributes.
+class AbsorbPaddingPass final : public Pass {
+ public:
+  std::string_view name() const override { return "AbsorbPadding"; }
+  Status Run(CompileState& state) const override {
+    state.graph = AbsorbPadding(state.graph);
+    return Status::Ok();
+  }
+};
+
+class ConstantFoldPass final : public Pass {
+ public:
+  std::string_view name() const override { return "ConstantFold"; }
+  Status Run(CompileState& state) const override {
+    state.graph = ConstantFold(state.graph, nn::StandardEvaluator());
+    return Status::Ok();
+  }
+};
+
+// Accelerator-aware dispatch (Sec. III-A): matched chains become composite
+// nodes annotated with their target; decisions land in the dispatch log.
+class PartitionGraphPass final : public Pass {
+ public:
+  std::string_view name() const override { return "PartitionGraph"; }
+  Status Run(CompileState& state) const override {
+    if (state.options.plain_tvm) return Status::Ok();  // CPU-only baseline
+    const auto rules = MakeDianaDispatchRules(
+        state.options.dispatch, state.options.hw, state.options.tiler,
+        &state.artifact.dispatch_log);
+    state.graph = PartitionGraph(state.graph, rules);
+    return Status::Ok();
+  }
+};
+
+class InsertAnalogInputClampsPass final : public Pass {
+ public:
+  std::string_view name() const override { return "InsertAnalogInputClamps"; }
+  Status Run(CompileState& state) const override {
+    if (state.options.plain_tvm) return Status::Ok();
+    state.graph = InsertAnalogInputClamps(state.graph);
+    return Status::Ok();
+  }
+};
+
+// TVM-native lowering of everything the dispatcher left on the CPU.
+class LowerToKernelsPass final : public Pass {
+ public:
+  std::string_view name() const override { return "LowerToKernels"; }
+  Status Run(CompileState& state) const override {
+    state.graph = tvmgen::LowerToKernels(state.graph);
+    return Status::Ok();
+  }
+};
+
+// Per-kernel compilation: DORY tiling schedules for accelerator
+// composites, the cost/size models for CPU composites.
+class CompileKernelsPass final : public Pass {
+ public:
+  std::string_view name() const override { return "CompileKernels"; }
+  bool mutates_graph() const override { return false; }
+  Status Run(CompileState& state) const override {
+    Artifact& artifact = state.artifact;
+    const CompileOptions& options = state.options;
+    i64 code_bytes = 0;
+    i64 weight_bytes = 0;
+    i64 kernel_index = 0;
+    for (const Node& n : state.graph.nodes()) {
+      if (n.kind != NodeKind::kComposite) continue;
+      const std::string target = n.attrs.GetString("target", "cpu");
+      CompiledKernel kernel;
+      kernel.node = n.id;
+      kernel.name = StrFormat("%s#%lld", n.op.c_str(),
+                              static_cast<long long>(kernel_index++));
+      kernel.target = target;
+
+      if (target == "cpu") {
+        kernel.perf = tvmgen::CpuCompositePerf(options.hw, n, kernel.name);
+        kernel.code_bytes = tvmgen::CpuKernelCodeBytes(options.size_model, n);
+        kernel.weight_bytes = tvmgen::CpuKernelWeightBytes(n);
+      } else {
+        const dory::AccelTarget accel_target =
+            target == "analog" ? dory::AccelTarget::kAnalog
+                               : dory::AccelTarget::kDigital;
+        HTVM_ASSIGN_OR_RETURN(spec, dory::AnalyzeCompositeBody(*n.body));
+        HTVM_ASSIGN_OR_RETURN(
+            sched, dory::BuildSchedule(spec, options.hw, accel_target,
+                                       options.tiler));
+        kernel.perf.name = kernel.name;
+        kernel.perf.target = target;
+        kernel.perf.macs = sched.macs;
+        kernel.perf.compute_cycles = sched.compute_cycles;
+        kernel.perf.weight_dma_cycles = sched.weight_dma_cycles;
+        kernel.perf.act_dma_cycles = sched.exposed_act_cycles;
+        kernel.perf.overhead_cycles = sched.overhead_cycles;
+        kernel.perf.peak_cycles = sched.peak_cycles;
+        kernel.perf.full_cycles = sched.full_cycles;
+        kernel.perf.tiles = static_cast<i64>(sched.steps.size());
+        kernel.code_bytes = tvmgen::AccelKernelCodeBytes(
+            options.size_model, sched.solution.needs_tiling);
+        kernel.weight_bytes =
+            dory::DeployedWeightBytes(spec, options.hw, accel_target);
+        kernel.schedule = std::move(sched);
+      }
+      code_bytes += kernel.code_bytes;
+      weight_bytes += kernel.weight_bytes;
+      artifact.kernels.push_back(std::move(kernel));
+    }
+    artifact.size.code_bytes = code_bytes;
+    artifact.size.weight_bytes = weight_bytes;
+    return Status::Ok();
+  }
+};
+
+// Binary image: code and weight bytes were accumulated per kernel; pick
+// the runtime flavor.
+class ComputeBinarySizePass final : public Pass {
+ public:
+  std::string_view name() const override { return "ComputeBinarySize"; }
+  bool mutates_graph() const override { return false; }
+  Status Run(CompileState& state) const override {
+    state.artifact.size.runtime_bytes =
+        state.options.plain_tvm
+            ? state.options.size_model.tvm_runtime_bytes
+            : state.options.size_model.htvm_runtime_bytes;
+    return Status::Ok();
+  }
+};
+
+// Ahead-of-time L2 schedule. Plain TVM's executor keeps every intermediate
+// alive (no liveness reuse).
+class PlanL2MemoryPass final : public Pass {
+ public:
+  std::string_view name() const override { return "PlanL2Memory"; }
+  bool mutates_graph() const override { return false; }
+  Status Run(CompileState& state) const override {
+    state.artifact.memory_plan =
+        PlanL2Memory(state.graph, state.artifact.size.Total(),
+                     state.options.hw.l2_bytes,
+                     /*reuse=*/!state.options.plain_tvm);
+    return Status::Ok();
+  }
+};
+
+class FinalizeArtifactPass final : public Pass {
+ public:
+  std::string_view name() const override { return "FinalizeArtifact"; }
+  bool mutates_graph() const override { return false; }
+  Status Run(CompileState& state) const override {
+    // Copy (not move) so post-pipeline instrumentation still sees the
+    // lowered graph in state.graph; composite bodies are shared pointers,
+    // so this duplicates node metadata only.
+    state.artifact.kernel_graph = state.graph;
+    state.artifact.hw_config = state.options.hw;
+    HTVM_ILOG << "compiled " << state.artifact.kernels.size() << " kernels, "
+              << state.artifact.size.ToString()
+              << ", arena=" << state.artifact.memory_plan.arena_bytes;
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+PassManager BuildHtvmPassPipeline() {
+  PassManager pm;
+  pm.Add(std::make_unique<AbsorbPaddingPass>())
+      .Add(std::make_unique<ConstantFoldPass>())
+      .Add(std::make_unique<PartitionGraphPass>())
+      .Add(std::make_unique<InsertAnalogInputClampsPass>())
+      .Add(std::make_unique<LowerToKernelsPass>())
+      .Add(std::make_unique<CompileKernelsPass>())
+      .Add(std::make_unique<ComputeBinarySizePass>())
+      .Add(std::make_unique<PlanL2MemoryPass>())
+      .Add(std::make_unique<FinalizeArtifactPass>());
+  return pm;
+}
+
+std::vector<std::string> HtvmPassNames() {
+  return BuildHtvmPassPipeline().PassNames();
+}
+
+}  // namespace htvm::compiler

@@ -1,0 +1,134 @@
+#include "compiler/pass_manager.hpp"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <fstream>
+
+#include "ir/dot.hpp"
+#include "support/string_utils.hpp"
+
+namespace htvm::compiler {
+namespace {
+
+class LambdaPass final : public Pass {
+ public:
+  LambdaPass(std::string name, std::function<Status(CompileState&)> run,
+             bool mutates_graph)
+      : name_(std::move(name)),
+        run_(std::move(run)),
+        mutates_graph_(mutates_graph) {}
+
+  std::string_view name() const override { return name_; }
+  Status Run(CompileState& state) const override { return run_(state); }
+  bool mutates_graph() const override { return mutates_graph_; }
+
+ private:
+  std::string name_;
+  std::function<Status(CompileState&)> run_;
+  bool mutates_graph_;
+};
+
+// Writes <dir>/<NN>_<stage>.txt (GraphToString) and .dot (GraphToDot).
+// Both renderings are deterministic functions of the graph, so dump
+// directories are byte-identical across runs of the same compile.
+Status WriteIrDump(const std::string& dir, int index,
+                   std::string_view stage, const Graph& graph) {
+  ::mkdir(dir.c_str(), 0755);  // best effort; open failures caught below
+  const std::string base = StrFormat("%s/%02d_%s", dir.c_str(), index,
+                                     std::string(stage).c_str());
+  {
+    std::ofstream txt(base + ".txt");
+    txt << GraphToString(graph);
+    if (!txt.good()) {
+      return Status::InvalidArgument("cannot write IR dump: " + base +
+                                     ".txt");
+    }
+  }
+  std::ofstream dot(base + ".dot");
+  dot << GraphToDot(graph);
+  if (!dot.good()) {
+    return Status::InvalidArgument("cannot write IR dump: " + base + ".dot");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+PassManager& PassManager::Add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager& PassManager::Add(std::string name,
+                              std::function<Status(CompileState&)> run,
+                              bool mutates_graph) {
+  return Add(std::make_unique<LambdaPass>(std::move(name), std::move(run),
+                                          mutates_graph));
+}
+
+std::vector<std::string> PassManager::PassNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.emplace_back(pass->name());
+  return names;
+}
+
+Status PassManager::Run(CompileState& state,
+                        const PassInstrumentation& instrument) const {
+  state.artifact.pass_timeline.clear();
+  if (!instrument.dump_ir_dir.empty()) {
+    HTVM_RETURN_IF_ERROR(
+        WriteIrDump(instrument.dump_ir_dir, 0, "input", state.graph));
+  }
+  int index = 0;
+  for (const auto& pass : passes_) {
+    ++index;
+    PassStat stat;
+    stat.name = std::string(pass->name());
+    stat.nodes_before = state.graph.NumNodes();
+    const auto start = std::chrono::steady_clock::now();
+    const Status status = pass->Run(state);
+    stat.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "pass " + stat.name + ": " + status.message());
+    }
+    stat.nodes_after = state.graph.NumNodes();
+    state.artifact.pass_timeline.push_back(std::move(stat));
+    if (!pass->mutates_graph()) continue;
+    if (instrument.verify) {
+      if (const Status valid = state.graph.Validate(); !valid.ok()) {
+        return Status::Internal(
+            StrFormat("pass %s produced an invalid graph: %s",
+                      std::string(pass->name()).c_str(),
+                      valid.ToString().c_str()));
+      }
+    }
+    if (!instrument.dump_ir_dir.empty()) {
+      HTVM_RETURN_IF_ERROR(WriteIrDump(instrument.dump_ir_dir, index,
+                                       pass->name(), state.graph));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string PassTimelineToTable(const PassTimeline& timeline) {
+  std::string out =
+      StrFormat("%-26s %12s %16s\n", "pass", "wall_us", "nodes");
+  i64 total_ns = 0;
+  for (const PassStat& stat : timeline) {
+    total_ns += stat.wall_ns;
+    out += StrFormat("%-26s %12.1f %6lld -> %-6lld\n", stat.name.c_str(),
+                     static_cast<double>(stat.wall_ns) / 1e3,
+                     static_cast<long long>(stat.nodes_before),
+                     static_cast<long long>(stat.nodes_after));
+  }
+  out += StrFormat("%-26s %12.1f\n", "total",
+                   static_cast<double>(total_ns) / 1e3);
+  return out;
+}
+
+}  // namespace htvm::compiler

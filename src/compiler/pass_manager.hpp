@@ -1,0 +1,76 @@
+// Instrumented pass infrastructure for the compile pipeline.
+//
+// The Fig. 1 flow is expressed as a sequence of named passes over a shared
+// CompileState (the graph being rewritten + the artifact under
+// construction). The PassManager runs the registered sequence and, for each
+// pass, records wall-clock time and the top-level node-count delta into
+// Artifact::pass_timeline; after every graph-rewriting pass it optionally
+// re-validates the graph (catching a rewrite bug at the pass that
+// introduced it, not at emission) and dumps the IR as text + Graphviz DOT.
+//
+// The standard HTVM pipeline is registered in compiler/compile_passes.hpp;
+// docs/compiler_passes.md describes how to add a pass.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+
+namespace htvm::compiler {
+
+// Mutable state threaded through the pass pipeline. `graph` starts as the
+// input network and ends as the lowered kernel graph; passes fill in the
+// artifact as they go.
+struct CompileState {
+  explicit CompileState(const CompileOptions& options) : options(options) {}
+
+  const CompileOptions& options;
+  Graph graph;
+  Artifact artifact;
+  // Human-readable notes passes may leave for diagnostics/reports.
+  std::vector<std::string> diagnostics;
+};
+
+// One pipeline stage. Passes must be deterministic functions of the state:
+// all configuration comes from state.options.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status Run(CompileState& state) const = 0;
+  // Graph-rewriting passes get Graph::Validate() and IR dumps after
+  // running; artifact-only passes (kernel compilation, memory planning)
+  // are timed but leave state.graph alone.
+  virtual bool mutates_graph() const { return true; }
+};
+
+class PassManager {
+ public:
+  PassManager& Add(std::unique_ptr<Pass> pass);
+  // Registers an ad-hoc lambda pass (tests, one-off experiments).
+  PassManager& Add(std::string name, std::function<Status(CompileState&)> run,
+                   bool mutates_graph = true);
+
+  // Registered pass names, in execution order (the pipeline snapshot).
+  std::vector<std::string> PassNames() const;
+
+  // Runs every pass in order, recording the timeline into
+  // state.artifact.pass_timeline. Stops at the first failure; the returned
+  // status names the offending pass. Inter-pass validation failures are
+  // reported as kInternal.
+  Status Run(CompileState& state,
+             const PassInstrumentation& instrument = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Renders a per-pass timing / node-delta table (htvmc --print-pass-times,
+// bench_compile_time --smoke).
+std::string PassTimelineToTable(const PassTimeline& timeline);
+
+}  // namespace htvm::compiler

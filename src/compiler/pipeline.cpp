@@ -1,180 +1,55 @@
 #include "compiler/pipeline.hpp"
 
-#include "compiler/memory_planner.hpp"
-#include "ir/passes.hpp"
-#include "nn/interpreter.hpp"
-#include "support/logging.hpp"
-#include "support/string_utils.hpp"
-#include "dory/weight_layout.hpp"
-#include "tvmgen/cost_model.hpp"
-#include "tvmgen/fusion.hpp"
+#include "compiler/compile_passes.hpp"
+#include "compiler/pass_manager.hpp"
+#include "ir/map_graph.hpp"
 
 namespace htvm::compiler {
 namespace {
 
 // Rebuilds one analog body with clip(-64, 63) on each activation input.
 std::shared_ptr<const Graph> ClampBodyInputs(const Graph& body) {
-  auto out = std::make_shared<Graph>();
-  std::vector<NodeId> remap(static_cast<size_t>(body.NumNodes()),
-                            kInvalidNode);
-  for (const Node& n : body.nodes()) {
-    switch (n.kind) {
-      case NodeKind::kInput: {
-        const NodeId in = out->AddInput(n.name, n.type);
-        // 7-bit IMC input range.
-        remap[static_cast<size_t>(n.id)] =
-            n.type.dtype == DType::kInt8
-                ? out->AddOp("clip", {in},
-                             AttrMap{{"a_min", i64{-64}}, {"a_max", i64{63}}})
-                : in;
-        break;
-      }
-      case NodeKind::kConstant:
-        remap[static_cast<size_t>(n.id)] = out->AddConstant(n.value, n.name);
-        break;
-      case NodeKind::kOp: {
-        std::vector<NodeId> ins;
-        for (NodeId in : n.inputs) ins.push_back(remap[static_cast<size_t>(in)]);
-        remap[static_cast<size_t>(n.id)] =
-            out->AddOp(n.op, std::move(ins), n.attrs, n.name);
-        break;
-      }
-      case NodeKind::kComposite:
-        HTVM_UNREACHABLE("nested composite in body");
-    }
-  }
-  std::vector<NodeId> outs;
-  for (NodeId id : body.outputs()) outs.push_back(remap[static_cast<size_t>(id)]);
-  out->SetOutputs(std::move(outs));
-  return out;
+  return std::make_shared<Graph>(ir::MapGraph(
+      body, [](ir::GraphMapper& m, const Node& n) -> NodeId {
+        switch (n.kind) {
+          case NodeKind::kInput: {
+            const NodeId in = m.out().AddInput(n.name, n.type);
+            // 7-bit IMC input range.
+            return n.type.dtype == DType::kInt8
+                       ? m.out().AddOp("clip", {in},
+                                       AttrMap{{"a_min", i64{-64}},
+                                               {"a_max", i64{63}}})
+                       : in;
+          }
+          case NodeKind::kComposite:
+            HTVM_UNREACHABLE("nested composite in body");
+          default:
+            return m.Clone(n);
+        }
+      }));
 }
 
 }  // namespace
 
 Graph InsertAnalogInputClamps(const Graph& partitioned) {
-  Graph out;
-  std::vector<NodeId> remap(static_cast<size_t>(partitioned.NumNodes()),
-                            kInvalidNode);
-  for (const Node& n : partitioned.nodes()) {
-    std::vector<NodeId> ins;
-    for (NodeId in : n.inputs) ins.push_back(remap[static_cast<size_t>(in)]);
-    switch (n.kind) {
-      case NodeKind::kInput:
-        remap[static_cast<size_t>(n.id)] = out.AddInput(n.name, n.type);
-        break;
-      case NodeKind::kConstant:
-        remap[static_cast<size_t>(n.id)] = out.AddConstant(n.value, n.name);
-        break;
-      case NodeKind::kOp:
-        remap[static_cast<size_t>(n.id)] =
-            out.AddOp(n.op, std::move(ins), n.attrs, n.name);
-        break;
-      case NodeKind::kComposite: {
-        auto body = n.body;
-        if (n.attrs.GetString("target") == "analog") {
-          body = ClampBodyInputs(*n.body);
+  return ir::MapGraph(
+      partitioned, [](ir::GraphMapper& m, const Node& n) -> NodeId {
+        if (n.kind == NodeKind::kComposite &&
+            n.attrs.GetString("target") == "analog") {
+          return m.out().AddComposite(n.op, m.MappedInputs(n),
+                                      ClampBodyInputs(*n.body), n.attrs);
         }
-        remap[static_cast<size_t>(n.id)] =
-            out.AddComposite(n.op, std::move(ins), body, n.attrs);
-        break;
-      }
-    }
-  }
-  std::vector<NodeId> outs;
-  for (NodeId id : partitioned.outputs())
-    outs.push_back(remap[static_cast<size_t>(id)]);
-  out.SetOutputs(std::move(outs));
-  return out;
+        return m.Clone(n);
+      });
 }
 
 Result<Artifact> HtvmCompiler::Compile(const Graph& network) const {
   HTVM_RETURN_IF_ERROR(network.Validate());
-
-  // Front-end optimization (Fig. 1 "initial optimizations"): fold explicit
-  // TFLite-style PAD ops into conv attributes, then constant-fold.
-  Graph graph =
-      ConstantFold(AbsorbPadding(network), nn::StandardEvaluator());
-
-  // Accelerator-aware dispatch.
-  DispatchLog dispatch_log;
-  if (!options_.plain_tvm) {
-    const auto rules = MakeDianaDispatchRules(options_.dispatch, options_.hw,
-                                              options_.tiler, &dispatch_log);
-    graph = PartitionGraph(graph, rules);
-    graph = InsertAnalogInputClamps(graph);
-  }
-
-  // TVM-native lowering of everything left.
-  Artifact artifact;
-  artifact.dispatch_log = std::move(dispatch_log);
-  artifact.hw_config = options_.hw;
-  artifact.kernel_graph = tvmgen::LowerToKernels(graph);
-  HTVM_RETURN_IF_ERROR(artifact.kernel_graph.Validate());
-
-  // Per-kernel compilation.
-  i64 code_bytes = 0;
-  i64 weight_bytes = 0;
-  i64 kernel_index = 0;
-  for (const Node& n : artifact.kernel_graph.nodes()) {
-    if (n.kind != NodeKind::kComposite) continue;
-    const std::string target = n.attrs.GetString("target", "cpu");
-    CompiledKernel kernel;
-    kernel.node = n.id;
-    kernel.name = StrFormat("%s#%lld", n.op.c_str(),
-                            static_cast<long long>(kernel_index++));
-    kernel.target = target;
-
-    if (target == "cpu") {
-      kernel.perf =
-          tvmgen::CpuCompositePerf(options_.hw, n, kernel.name);
-      kernel.code_bytes = tvmgen::CpuKernelCodeBytes(options_.size_model, n);
-      kernel.weight_bytes = tvmgen::CpuKernelWeightBytes(n);
-    } else {
-      const dory::AccelTarget accel_target = target == "analog"
-                                                 ? dory::AccelTarget::kAnalog
-                                                 : dory::AccelTarget::kDigital;
-      HTVM_ASSIGN_OR_RETURN(spec, dory::AnalyzeCompositeBody(*n.body));
-      HTVM_ASSIGN_OR_RETURN(
-          sched, dory::BuildSchedule(spec, options_.hw, accel_target,
-                                     options_.tiler));
-      kernel.perf.name = kernel.name;
-      kernel.perf.target = target;
-      kernel.perf.macs = sched.macs;
-      kernel.perf.compute_cycles = sched.compute_cycles;
-      kernel.perf.weight_dma_cycles = sched.weight_dma_cycles;
-      kernel.perf.act_dma_cycles = sched.exposed_act_cycles;
-      kernel.perf.overhead_cycles = sched.overhead_cycles;
-      kernel.perf.peak_cycles = sched.peak_cycles;
-      kernel.perf.full_cycles = sched.full_cycles;
-      kernel.perf.tiles = static_cast<i64>(sched.steps.size());
-      kernel.code_bytes = tvmgen::AccelKernelCodeBytes(
-          options_.size_model, sched.solution.needs_tiling);
-      kernel.weight_bytes =
-          dory::DeployedWeightBytes(spec, options_.hw, accel_target);
-      kernel.schedule = std::move(sched);
-    }
-    code_bytes += kernel.code_bytes;
-    weight_bytes += kernel.weight_bytes;
-    artifact.kernels.push_back(std::move(kernel));
-  }
-
-  // Binary image.
-  artifact.size.runtime_bytes = options_.plain_tvm
-                                    ? options_.size_model.tvm_runtime_bytes
-                                    : options_.size_model.htvm_runtime_bytes;
-  artifact.size.code_bytes = code_bytes;
-  artifact.size.weight_bytes = weight_bytes;
-
-  // Ahead-of-time L2 schedule. Plain TVM's executor keeps every
-  // intermediate alive (no liveness reuse).
-  artifact.memory_plan =
-      PlanL2Memory(artifact.kernel_graph, artifact.size.Total(),
-                   options_.hw.l2_bytes, /*reuse=*/!options_.plain_tvm);
-
-  HTVM_ILOG << "compiled " << artifact.kernels.size() << " kernels, "
-            << artifact.size.ToString()
-            << ", arena=" << artifact.memory_plan.arena_bytes;
-  return artifact;
+  CompileState state(options_);
+  state.graph = network;
+  const PassManager pipeline = BuildHtvmPassPipeline();
+  HTVM_RETURN_IF_ERROR(pipeline.Run(state, options_.instrument));
+  return std::move(state.artifact);
 }
 
 }  // namespace htvm::compiler

@@ -5,7 +5,11 @@
 //   TVM-native fused CPU kernels for the rest -> single sequential kernel
 //   program + L2 memory schedule + binary image.
 //
-// Everything runs ahead of time; no autotuning.
+// Everything runs ahead of time; no autotuning. The stages are registered
+// as named, timed, verified passes on a PassManager (see
+// compiler/pass_manager.hpp and compiler/compile_passes.hpp);
+// HtvmCompiler::Compile is a single pipeline invocation and the per-pass
+// breakdown lands in Artifact::pass_timeline.
 #pragma once
 
 #include "compiler/artifact.hpp"
@@ -13,6 +17,17 @@
 #include "dory/tiler.hpp"
 
 namespace htvm::compiler {
+
+// Pass-level introspection knobs (htvmc --dump-ir / --print-pass-times;
+// consumed by the PassManager, see compiler/pass_manager.hpp).
+struct PassInstrumentation {
+  // Re-run Graph::Validate() after every graph-rewriting pass; a failure
+  // aborts compilation with the offending pass's name.
+  bool verify = true;
+  // When non-empty, write post-pass IR dumps (<NN>_<pass>.txt + .dot) into
+  // this directory (created if missing).
+  std::string dump_ir_dir;
+};
 
 struct CompileOptions {
   // Which accelerators the dispatcher may target. Disabling both (or
@@ -24,6 +39,7 @@ struct CompileOptions {
   dory::TilerOptions tiler;
   tvmgen::SizeModelConfig size_model;
   hw::DianaConfig hw = hw::DianaConfig::Default();
+  PassInstrumentation instrument;
 
   static CompileOptions PlainTvm() {
     CompileOptions o;

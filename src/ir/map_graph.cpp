@@ -1,0 +1,58 @@
+#include "ir/map_graph.hpp"
+
+#include <utility>
+
+#include "support/common.hpp"
+
+namespace htvm::ir {
+
+std::vector<NodeId> GraphMapper::MappedInputs(const Node& n) const {
+  std::vector<NodeId> ins;
+  ins.reserve(n.inputs.size());
+  for (NodeId in : n.inputs) {
+    const NodeId mapped = Mapped(in);
+    HTVM_CHECK_MSG(mapped != kInvalidNode,
+                   "kept node consumes dropped node");
+    ins.push_back(mapped);
+  }
+  return ins;
+}
+
+NodeId GraphMapper::Clone(const Node& n) {
+  return CloneWithInputs(n, MappedInputs(n));
+}
+
+NodeId GraphMapper::CloneWithInputs(const Node& n,
+                                    std::vector<NodeId> inputs) {
+  switch (n.kind) {
+    case NodeKind::kInput:
+      return out_.AddInput(n.name, n.type);
+    case NodeKind::kConstant:
+      return out_.AddConstant(n.value, n.name);
+    case NodeKind::kOp:
+      return out_.AddOp(n.op, std::move(inputs), n.attrs, n.name);
+    case NodeKind::kComposite:
+      return out_.AddComposite(n.op, std::move(inputs), n.body, n.attrs);
+  }
+  HTVM_UNREACHABLE("bad node kind");
+}
+
+Graph MapGraph(const Graph& in, const MapNodeFn& fn,
+               std::vector<NodeId>* old_to_new) {
+  GraphMapper mapper(in);
+  for (const Node& n : in.nodes()) {
+    mapper.remap_[static_cast<size_t>(n.id)] = fn(mapper, n);
+  }
+  std::vector<NodeId> outputs;
+  outputs.reserve(in.outputs().size());
+  for (NodeId id : in.outputs()) {
+    const NodeId mapped = mapper.Mapped(id);
+    HTVM_CHECK_MSG(mapped != kInvalidNode, "graph output was dropped");
+    outputs.push_back(mapped);
+  }
+  mapper.out_.SetOutputs(std::move(outputs));
+  if (old_to_new != nullptr) *old_to_new = std::move(mapper.remap_);
+  return std::move(mapper.out_);
+}
+
+}  // namespace htvm::ir

@@ -1,0 +1,71 @@
+// ir::MapGraph — the one graph clone/remap walk.
+//
+// Every rewrite in the compiler (padding absorption, constant folding, BYOC
+// partitioning, CPU-kernel wrapping, analog input clamping, dead-code
+// elimination) follows the same shape: walk the nodes in id order (which is
+// topological by construction), emit a transformed copy of each node into a
+// fresh graph, and remap the consumed ids through the emitted ones. MapGraph
+// owns that walk; callers supply only the per-node decision.
+//
+// The callback returns the output-graph id for the visited node, or
+// kInvalidNode to drop it. Dropping a node that a later kept node (or a
+// graph output) still consumes is a fatal error — the rewrite must drop the
+// consumers too, exactly as the hand-rolled loops used to check.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace htvm::ir {
+
+// Rebuild context handed to the MapGraph callback: the source graph, the
+// output graph under construction, and the id remapping so far.
+class GraphMapper {
+ public:
+  const Graph& in() const { return in_; }
+  Graph& out() { return out_; }
+
+  // Output-graph id of source node `id`; kInvalidNode while unvisited or
+  // when the node was dropped.
+  NodeId Mapped(NodeId id) const { return remap_[static_cast<size_t>(id)]; }
+
+  // All of `n`'s inputs remapped into the output graph. Fatal when one of
+  // them was dropped: a kept consumer of a dropped node is a rewrite bug.
+  std::vector<NodeId> MappedInputs(const Node& n) const;
+
+  // Clones `n` verbatim into the output graph (remapped inputs, same
+  // op/attrs/name/value/body).
+  NodeId Clone(const Node& n);
+
+  // Clone with caller-adjusted inputs (e.g. rerouted around a dropped
+  // producer). `inputs` must be output-graph ids.
+  NodeId CloneWithInputs(const Node& n, std::vector<NodeId> inputs);
+
+ private:
+  friend Graph MapGraph(const Graph& in,
+                        const std::function<NodeId(GraphMapper&, const Node&)>& fn,
+                        std::vector<NodeId>* old_to_new);
+
+  explicit GraphMapper(const Graph& in)
+      : in_(in),
+        remap_(static_cast<size_t>(in.NumNodes()), kInvalidNode) {}
+
+  const Graph& in_;
+  Graph out_;
+  std::vector<NodeId> remap_;
+};
+
+// Per-node rewrite: return the output-graph id for `n` (usually via
+// mapper.Clone / mapper.out()), or kInvalidNode to drop it.
+using MapNodeFn = std::function<NodeId(GraphMapper& mapper, const Node& n)>;
+
+// Rebuilds `in` by running `fn` over every node in topological (id) order
+// and recording the returned ids; graph outputs are remapped at the end
+// (fatal if an output was dropped). The final old-id -> new-id table is
+// returned through `old_to_new` when non-null.
+Graph MapGraph(const Graph& in, const MapNodeFn& fn,
+               std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace htvm::ir

@@ -1,5 +1,6 @@
 #include "ir/passes.hpp"
 
+#include "ir/map_graph.hpp"
 #include "support/logging.hpp"
 
 namespace htvm {
@@ -7,45 +8,12 @@ namespace htvm {
 Graph RebuildGraph(const Graph& graph, const std::vector<bool>& keep,
                    std::vector<NodeId>* old_to_new) {
   HTVM_CHECK(static_cast<i64>(keep.size()) == graph.NumNodes());
-  Graph out;
-  std::vector<NodeId> remap(keep.size(), kInvalidNode);
-  for (const Node& n : graph.nodes()) {
-    if (!keep[static_cast<size_t>(n.id)]) continue;
-    std::vector<NodeId> new_inputs;
-    new_inputs.reserve(n.inputs.size());
-    for (NodeId in : n.inputs) {
-      const NodeId mapped = remap[static_cast<size_t>(in)];
-      HTVM_CHECK_MSG(mapped != kInvalidNode,
-                     "kept node consumes dropped node");
-      new_inputs.push_back(mapped);
-    }
-    NodeId new_id = kInvalidNode;
-    switch (n.kind) {
-      case NodeKind::kInput:
-        new_id = out.AddInput(n.name, n.type);
-        break;
-      case NodeKind::kConstant:
-        new_id = out.AddConstant(n.value, n.name);
-        break;
-      case NodeKind::kOp:
-        new_id = out.AddOp(n.op, std::move(new_inputs), n.attrs, n.name);
-        break;
-      case NodeKind::kComposite:
-        new_id = out.AddComposite(n.op, std::move(new_inputs), n.body,
-                                  n.attrs);
-        break;
-    }
-    remap[static_cast<size_t>(n.id)] = new_id;
-  }
-  std::vector<NodeId> new_outputs;
-  for (NodeId id : graph.outputs()) {
-    const NodeId mapped = remap[static_cast<size_t>(id)];
-    HTVM_CHECK_MSG(mapped != kInvalidNode, "graph output was dropped");
-    new_outputs.push_back(mapped);
-  }
-  out.SetOutputs(std::move(new_outputs));
-  if (old_to_new != nullptr) *old_to_new = std::move(remap);
-  return out;
+  return ir::MapGraph(
+      graph,
+      [&](ir::GraphMapper& m, const Node& n) -> NodeId {
+        return keep[static_cast<size_t>(n.id)] ? m.Clone(n) : kInvalidNode;
+      },
+      old_to_new);
 }
 
 Graph DeadCodeElimination(const Graph& graph) {
@@ -65,14 +33,8 @@ Graph DeadCodeElimination(const Graph& graph) {
 
 Graph AbsorbPadding(const Graph& graph) {
   const std::vector<i32> uses = graph.UseCounts();
-  Graph out;
-  std::vector<NodeId> remap(static_cast<size_t>(graph.NumNodes()),
-                            kInvalidNode);
-  for (const Node& n : graph.nodes()) {
-    std::vector<NodeId> ins;
-    ins.reserve(n.inputs.size());
-    for (NodeId in : n.inputs) ins.push_back(remap[static_cast<size_t>(in)]);
-
+  Graph out = ir::MapGraph(graph, [&](ir::GraphMapper& m,
+                                      const Node& n) -> NodeId {
     if (n.IsOp("nn.conv2d")) {
       const Node& producer = graph.node(n.inputs[0]);
       if (producer.IsOp("nn.pad") &&
@@ -84,91 +46,41 @@ Graph AbsorbPadding(const Graph& graph) {
         AttrMap attrs = n.attrs;
         attrs.Set("padding", std::vector<i64>{pad[0] + pw[0], pad[1] + pw[1],
                                               pad[2] + pw[2], pad[3] + pw[3]});
-        std::vector<NodeId> merged_ins = ins;
-        merged_ins[0] = remap[static_cast<size_t>(producer.inputs[0])];
-        remap[static_cast<size_t>(n.id)] =
-            out.AddOp(n.op, std::move(merged_ins), std::move(attrs), n.name);
-        continue;
+        std::vector<NodeId> ins = m.MappedInputs(n);
+        ins[0] = m.Mapped(producer.inputs[0]);
+        return m.out().AddOp(n.op, std::move(ins), std::move(attrs), n.name);
       }
     }
-
-    switch (n.kind) {
-      case NodeKind::kInput:
-        remap[static_cast<size_t>(n.id)] = out.AddInput(n.name, n.type);
-        break;
-      case NodeKind::kConstant:
-        remap[static_cast<size_t>(n.id)] = out.AddConstant(n.value, n.name);
-        break;
-      case NodeKind::kOp:
-        remap[static_cast<size_t>(n.id)] =
-            out.AddOp(n.op, std::move(ins), n.attrs, n.name);
-        break;
-      case NodeKind::kComposite:
-        remap[static_cast<size_t>(n.id)] =
-            out.AddComposite(n.op, std::move(ins), n.body, n.attrs);
-        break;
-    }
-  }
-  std::vector<NodeId> outputs;
-  for (NodeId id : graph.outputs())
-    outputs.push_back(remap[static_cast<size_t>(id)]);
-  out.SetOutputs(std::move(outputs));
+    return m.Clone(n);
+  });
   return DeadCodeElimination(out);
 }
 
 Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval) {
-  Graph out;
-  std::vector<NodeId> remap(static_cast<size_t>(graph.NumNodes()),
-                            kInvalidNode);
   i64 folded = 0;
-  for (const Node& n : graph.nodes()) {
-    std::vector<NodeId> new_inputs;
-    for (NodeId in : n.inputs)
-      new_inputs.push_back(remap[static_cast<size_t>(in)]);
-
-    if (n.kind == NodeKind::kOp) {
-      bool all_const = !n.inputs.empty();
-      for (NodeId in : new_inputs) {
-        if (out.node(in).kind != NodeKind::kConstant) {
-          all_const = false;
-          break;
-        }
-      }
-      if (all_const) {
-        std::vector<Tensor> in_values;
-        in_values.reserve(new_inputs.size());
-        for (NodeId in : new_inputs) in_values.push_back(out.node(in).value);
-        auto value = eval(n, in_values);
-        if (value.ok()) {
-          remap[static_cast<size_t>(n.id)] =
-              out.AddConstant(std::move(value.value()), n.name);
-          ++folded;
-          continue;
-        }
+  Graph out = ir::MapGraph(graph, [&](ir::GraphMapper& m,
+                                      const Node& n) -> NodeId {
+    if (n.kind != NodeKind::kOp) return m.Clone(n);
+    std::vector<NodeId> ins = m.MappedInputs(n);
+    bool all_const = !ins.empty();
+    for (NodeId in : ins) {
+      if (m.out().node(in).kind != NodeKind::kConstant) {
+        all_const = false;
+        break;
       }
     }
-
-    NodeId new_id = kInvalidNode;
-    switch (n.kind) {
-      case NodeKind::kInput:
-        new_id = out.AddInput(n.name, n.type);
-        break;
-      case NodeKind::kConstant:
-        new_id = out.AddConstant(n.value, n.name);
-        break;
-      case NodeKind::kOp:
-        new_id = out.AddOp(n.op, std::move(new_inputs), n.attrs, n.name);
-        break;
-      case NodeKind::kComposite:
-        new_id = out.AddComposite(n.op, std::move(new_inputs), n.body, n.attrs);
-        break;
+    if (all_const) {
+      std::vector<Tensor> in_values;
+      in_values.reserve(ins.size());
+      for (NodeId in : ins) in_values.push_back(m.out().node(in).value);
+      auto value = eval(n, in_values);
+      if (value.ok()) {
+        ++folded;
+        return m.out().AddConstant(std::move(value.value()), n.name);
+      }
     }
-    remap[static_cast<size_t>(n.id)] = new_id;
-  }
-  std::vector<NodeId> new_outputs;
-  for (NodeId id : graph.outputs())
-    new_outputs.push_back(remap[static_cast<size_t>(id)]);
-  out.SetOutputs(std::move(new_outputs));
+    return m.CloneWithInputs(n, std::move(ins));
+  });
   if (folded > 0) {
     HTVM_DLOG << "constant folding replaced " << folded << " nodes";
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ir/map_graph.hpp"
 #include "support/logging.hpp"
 
 namespace htvm {
@@ -12,6 +13,39 @@ struct AcceptedMatch {
   const PatternRule* rule = nullptr;
   AttrMap attrs;
 };
+
+// Builds the composite body graph for an accepted match: one body input per
+// external input, then the matched region's nodes in topological order.
+std::shared_ptr<const Graph> BuildCompositeBody(const Graph& graph,
+                                                const AcceptedMatch& acc) {
+  auto body = std::make_shared<Graph>();
+  std::vector<NodeId> body_remap(static_cast<size_t>(graph.NumNodes()),
+                                 kInvalidNode);
+  for (NodeId ext : acc.match.external_inputs) {
+    const Node& e = graph.node(ext);
+    body_remap[static_cast<size_t>(ext)] =
+        body->AddInput(e.name.empty() ? "arg" : e.name, e.type);
+  }
+  for (const Node& inner : graph.nodes()) {  // id order == topological
+    if (!acc.match.internal.count(inner.id)) continue;
+    if (inner.kind == NodeKind::kConstant) {
+      body_remap[static_cast<size_t>(inner.id)] =
+          body->AddConstant(inner.value, inner.name);
+      continue;
+    }
+    HTVM_CHECK(inner.kind == NodeKind::kOp);
+    std::vector<NodeId> ins;
+    ins.reserve(inner.inputs.size());
+    for (NodeId in : inner.inputs) {
+      HTVM_CHECK(body_remap[static_cast<size_t>(in)] != kInvalidNode);
+      ins.push_back(body_remap[static_cast<size_t>(in)]);
+    }
+    body_remap[static_cast<size_t>(inner.id)] =
+        body->AddOp(inner.op, std::move(ins), inner.attrs, inner.name);
+  }
+  body->SetOutputs({body_remap[static_cast<size_t>(acc.match.root)]});
+  return body;
+}
 
 }  // namespace
 
@@ -50,86 +84,28 @@ Graph PartitionGraph(const Graph& graph,
     }
   }
 
-  // Rebuild with composites in place of matched regions.
-  Graph out;
-  std::vector<NodeId> remap(static_cast<size_t>(graph.NumNodes()),
-                            kInvalidNode);
-  for (const Node& n : graph.nodes()) {
+  // Rebuild with composites in place of matched regions: matched roots turn
+  // into composite nodes, absorbed internals are dropped (they live on in
+  // the composite bodies), everything else clones through.
+  return ir::MapGraph(graph, [&](ir::GraphMapper& m, const Node& n) -> NodeId {
     const auto acc_it = accepted.find(n.id);
     if (acc_it == accepted.end()) {
-      if (claimed[static_cast<size_t>(n.id)]) continue;  // absorbed into a body
-      std::vector<NodeId> ins;
-      ins.reserve(n.inputs.size());
-      for (NodeId in : n.inputs) {
-        HTVM_CHECK_MSG(remap[static_cast<size_t>(in)] != kInvalidNode,
-                       "unmatched node consumes absorbed node");
-        ins.push_back(remap[static_cast<size_t>(in)]);
+      if (claimed[static_cast<size_t>(n.id)]) {
+        return kInvalidNode;  // absorbed into a body
       }
-      switch (n.kind) {
-        case NodeKind::kInput:
-          remap[static_cast<size_t>(n.id)] = out.AddInput(n.name, n.type);
-          break;
-        case NodeKind::kConstant:
-          remap[static_cast<size_t>(n.id)] = out.AddConstant(n.value, n.name);
-          break;
-        case NodeKind::kOp:
-          remap[static_cast<size_t>(n.id)] =
-              out.AddOp(n.op, std::move(ins), n.attrs, n.name);
-          break;
-        case NodeKind::kComposite:
-          remap[static_cast<size_t>(n.id)] =
-              out.AddComposite(n.op, std::move(ins), n.body, n.attrs);
-          break;
-      }
-      continue;
+      return m.Clone(n);
     }
-
-    // Build the composite body from the matched region.
     const AcceptedMatch& acc = acc_it->second;
-    auto body = std::make_shared<Graph>();
-    std::vector<NodeId> body_remap(static_cast<size_t>(graph.NumNodes()),
-                                   kInvalidNode);
-    for (NodeId ext : acc.match.external_inputs) {
-      const Node& e = graph.node(ext);
-      body_remap[static_cast<size_t>(ext)] =
-          body->AddInput(e.name.empty() ? "arg" : e.name, e.type);
-    }
-    for (const Node& inner : graph.nodes()) {  // id order == topological
-      if (!acc.match.internal.count(inner.id)) continue;
-      if (inner.kind == NodeKind::kConstant) {
-        body_remap[static_cast<size_t>(inner.id)] =
-            body->AddConstant(inner.value, inner.name);
-        continue;
-      }
-      HTVM_CHECK(inner.kind == NodeKind::kOp);
-      std::vector<NodeId> ins;
-      ins.reserve(inner.inputs.size());
-      for (NodeId in : inner.inputs) {
-        HTVM_CHECK(body_remap[static_cast<size_t>(in)] != kInvalidNode);
-        ins.push_back(body_remap[static_cast<size_t>(in)]);
-      }
-      body_remap[static_cast<size_t>(inner.id)] =
-          body->AddOp(inner.op, std::move(ins), inner.attrs, inner.name);
-    }
-    body->SetOutputs({body_remap[static_cast<size_t>(acc.match.root)]});
-
+    auto body = BuildCompositeBody(graph, acc);
     std::vector<NodeId> comp_inputs;
     comp_inputs.reserve(acc.match.external_inputs.size());
     for (NodeId ext : acc.match.external_inputs) {
-      HTVM_CHECK(remap[static_cast<size_t>(ext)] != kInvalidNode);
-      comp_inputs.push_back(remap[static_cast<size_t>(ext)]);
+      HTVM_CHECK(m.Mapped(ext) != kInvalidNode);
+      comp_inputs.push_back(m.Mapped(ext));
     }
-    remap[static_cast<size_t>(n.id)] = out.AddComposite(
-        acc.rule->composite_name, std::move(comp_inputs), body, acc.attrs);
-  }
-
-  std::vector<NodeId> outputs;
-  for (NodeId id : graph.outputs()) {
-    HTVM_CHECK(remap[static_cast<size_t>(id)] != kInvalidNode);
-    outputs.push_back(remap[static_cast<size_t>(id)]);
-  }
-  out.SetOutputs(std::move(outputs));
-  return out;
+    return m.out().AddComposite(acc.rule->composite_name,
+                                std::move(comp_inputs), body, acc.attrs);
+  });
 }
 
 }  // namespace htvm

@@ -1,5 +1,6 @@
 #include "tvmgen/fusion.hpp"
 
+#include "ir/map_graph.hpp"
 #include "ir/passes.hpp"
 #include "pattern/rewriter.hpp"
 #include "pattern/std_patterns.hpp"
@@ -20,58 +21,34 @@ Graph FuseCpuOps(const Graph& partitioned) {
 }
 
 Graph WrapRemainingOps(const Graph& graph) {
-  Graph out;
-  std::vector<NodeId> remap(static_cast<size_t>(graph.NumNodes()),
-                            kInvalidNode);
-  for (const Node& n : graph.nodes()) {
-    std::vector<NodeId> ins;
-    ins.reserve(n.inputs.size());
-    for (NodeId in : n.inputs) ins.push_back(remap[static_cast<size_t>(in)]);
-    switch (n.kind) {
-      case NodeKind::kInput:
-        remap[static_cast<size_t>(n.id)] = out.AddInput(n.name, n.type);
-        break;
-      case NodeKind::kConstant:
-        remap[static_cast<size_t>(n.id)] = out.AddConstant(n.value, n.name);
-        break;
-      case NodeKind::kComposite:
-        remap[static_cast<size_t>(n.id)] =
-            out.AddComposite(n.op, std::move(ins), n.body, n.attrs);
-        break;
-      case NodeKind::kOp: {
-        // Single-op body: one input per distinct operand.
-        auto body = std::make_shared<Graph>();
-        std::vector<NodeId> body_ins;
-        body_ins.reserve(n.inputs.size());
-        for (NodeId in : n.inputs) {
-          const Node& src = graph.node(in);
-          if (src.kind == NodeKind::kConstant) {
-            body_ins.push_back(body->AddConstant(src.value, src.name));
-          } else {
-            body_ins.push_back(body->AddInput("arg", src.type));
-          }
-        }
-        body->SetOutputs({body->AddOp(n.op, body_ins, n.attrs, n.name)});
-        // Composite inputs: only the non-constant operands.
-        std::vector<NodeId> comp_ins;
-        for (size_t i = 0; i < n.inputs.size(); ++i) {
-          if (graph.node(n.inputs[i]).kind != NodeKind::kConstant) {
-            comp_ins.push_back(ins[i]);
-          }
-        }
-        AttrMap attrs;
-        attrs.Set("target", std::string("cpu"));
-        remap[static_cast<size_t>(n.id)] = out.AddComposite(
-            "tvm." + n.op, std::move(comp_ins), body, std::move(attrs));
-        break;
+  return ir::MapGraph(graph, [&](ir::GraphMapper& m, const Node& n) -> NodeId {
+    if (n.kind != NodeKind::kOp) return m.Clone(n);
+    // Single-op body: one input per distinct operand.
+    auto body = std::make_shared<Graph>();
+    std::vector<NodeId> body_ins;
+    body_ins.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) {
+      const Node& src = graph.node(in);
+      if (src.kind == NodeKind::kConstant) {
+        body_ins.push_back(body->AddConstant(src.value, src.name));
+      } else {
+        body_ins.push_back(body->AddInput("arg", src.type));
       }
     }
-  }
-  std::vector<NodeId> outputs;
-  for (NodeId id : graph.outputs())
-    outputs.push_back(remap[static_cast<size_t>(id)]);
-  out.SetOutputs(std::move(outputs));
-  return out;
+    body->SetOutputs({body->AddOp(n.op, body_ins, n.attrs, n.name)});
+    // Composite inputs: only the non-constant operands.
+    const std::vector<NodeId> ins = m.MappedInputs(n);
+    std::vector<NodeId> comp_ins;
+    for (size_t i = 0; i < n.inputs.size(); ++i) {
+      if (graph.node(n.inputs[i]).kind != NodeKind::kConstant) {
+        comp_ins.push_back(ins[i]);
+      }
+    }
+    AttrMap attrs;
+    attrs.Set("target", std::string("cpu"));
+    return m.out().AddComposite("tvm." + n.op, std::move(comp_ins), body,
+                                std::move(attrs));
+  });
 }
 
 Graph LowerToKernels(const Graph& partitioned) {

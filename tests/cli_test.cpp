@@ -148,6 +148,52 @@ TEST(Cli, L1OverrideChangesTiling) {
   EXPECT_NE(big, small);  // tighter L1 -> different tile counts/latency
 }
 
+TEST(Cli, PrintPassTimesListsEveryPass) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  ASSERT_EQ(RunTool("--model resnet --config mixed --print-pass-times", &out),
+            0);
+  const std::string text = ReadAll(out);
+  EXPECT_NE(text.find("pass timeline:"), std::string::npos);
+  for (const char* pass :
+       {"AbsorbPadding", "ConstantFold", "PartitionGraph",
+        "InsertAnalogInputClamps", "LowerToKernels", "CompileKernels",
+        "ComputeBinarySize", "PlanL2Memory", "FinalizeArtifact", "total"}) {
+    EXPECT_NE(text.find(pass), std::string::npos) << "missing " << pass;
+  }
+}
+
+TEST(Cli, DumpIrWritesDeterministicDumps) {
+  if (!ToolExists()) GTEST_SKIP();
+  const std::string dir_a = ::testing::TempDir() + "/cli_ir_a";
+  const std::string dir_b = ::testing::TempDir() + "/cli_ir_b";
+  std::string out;
+  ASSERT_EQ(RunTool("--model dscnn --config mixed --dump-ir " + dir_a, &out),
+            0);
+  EXPECT_NE(ReadAll(out).find("dumped per-pass IR to " + dir_a),
+            std::string::npos);
+  ASSERT_EQ(RunTool("--model dscnn --config mixed --dump-ir " + dir_b), 0);
+  // Spot-check the first and last graph stage; both text and DOT forms are
+  // deterministic, so reruns must produce byte-identical files.
+  for (const char* name :
+       {"/00_input.txt", "/03_PartitionGraph.dot", "/05_LowerToKernels.txt"}) {
+    const std::string a = ReadAll(dir_a + name);
+    EXPECT_FALSE(a.empty()) << name;
+    EXPECT_EQ(a, ReadAll(dir_b + name)) << name;
+  }
+}
+
+TEST(Cli, UnwritableDumpDirFailsWithMessage) {
+  if (!ToolExists()) GTEST_SKIP();
+  const std::string blocker = ::testing::TempDir() + "/cli_ir_blocker";
+  std::ofstream(blocker) << "not a directory";
+  std::string out;
+  EXPECT_NE(RunTool("--model resnet --config mixed --dump-ir " + blocker,
+                    &out),
+            0);
+  EXPECT_NE(ReadAll(out).find("cannot write IR dump"), std::string::npos);
+}
+
 TEST(ServeCli, HelpSucceeds) {
   if (!BinaryExists(kServeTool)) GTEST_SKIP();
   std::string out;

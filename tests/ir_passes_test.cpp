@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ir/builder.hpp"
+#include "ir/map_graph.hpp"
 #include "ir/passes.hpp"
 #include "nn/interpreter.hpp"
 
@@ -77,6 +78,57 @@ TEST(ConstantFold, LeavesNonConstOpsAlone) {
   g.SetOutputs({r});
   Graph folded = ConstantFold(g, nn::StandardEvaluator());
   EXPECT_EQ(folded.NumNodes(), 2);
+}
+
+TEST(MapGraph, IdentityClonePreservesStructure) {
+  GraphBuilder b(7);
+  NodeId x = b.Input("x", Shape{1, 4, 8, 8});
+  ConvSpec spec;
+  spec.out_channels = 8;
+  spec = WithSamePadding(spec, 8, 8);
+  Graph g = b.Finish(b.ConvBlock(x, spec, "c"));
+
+  Graph copy = ir::MapGraph(
+      g, [](ir::GraphMapper& m, const Node& n) { return m.Clone(n); });
+  EXPECT_EQ(GraphToString(copy), GraphToString(g));
+  EXPECT_TRUE(copy.Validate().ok());
+}
+
+TEST(MapGraph, DroppedNodesCompactIdsAndFillRemapTable) {
+  Graph g;
+  NodeId a = g.AddInput("a", {Shape{1}, DType::kInt8});
+  g.AddOp("nn.relu", {a});  // dead, dropped by the callback
+  NodeId live = g.AddOp("nn.relu", {a});
+  g.SetOutputs({live});
+
+  std::vector<NodeId> remap;
+  Graph out = ir::MapGraph(
+      g,
+      [&](ir::GraphMapper& m, const Node& n) {
+        return n.id == 1 ? kInvalidNode : m.Clone(n);
+      },
+      &remap);
+  EXPECT_EQ(out.NumNodes(), 2);
+  EXPECT_EQ(remap, (std::vector<NodeId>{0, kInvalidNode, 1}));
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(MapGraph, CallbackCanInsertNodes) {
+  Graph g;
+  NodeId a = g.AddInput("a", {Shape{1, 4}, DType::kInt8});
+  NodeId r = g.AddOp("nn.relu", {a});
+  g.SetOutputs({r});
+
+  // Clamp every int8 input, the InsertAnalogInputClamps shape.
+  Graph out = ir::MapGraph(g, [](ir::GraphMapper& m, const Node& n) {
+    if (n.kind != NodeKind::kInput) return m.Clone(n);
+    const NodeId in = m.out().AddInput(n.name, n.type);
+    return m.out().AddOp(
+        "clip", {in}, AttrMap{{"a_min", i64{-64}}, {"a_max", i64{63}}});
+  });
+  EXPECT_EQ(out.NumNodes(), g.NumNodes() + 1);
+  EXPECT_TRUE(out.Validate().ok());
+  EXPECT_TRUE(out.node(1).IsOp("clip"));
 }
 
 TEST(RebuildGraph, RemapsIdsCompactly) {

@@ -16,6 +16,7 @@
 #include <sys/stat.h>
 
 #include "compiler/emit.hpp"
+#include "compiler/pass_manager.hpp"
 #include "compiler/pipeline.hpp"
 #include "ir/dot.hpp"
 #include "ir/serialize.hpp"
@@ -34,11 +35,13 @@ struct CliOptions {
   std::string config = "mixed";
   std::string emit_dir;
   std::string dot_path;
+  std::string dump_ir_dir;
   i64 l1_kb = -1;
   bool report = false;
   bool timeline = false;
   bool energy = false;
   bool tuned_cpu = false;
+  bool print_pass_times = false;
   bool help = false;
 };
 
@@ -59,6 +62,9 @@ options:
   --energy                                    energy estimate
   --dot <file.dot>                            partitioned graph as Graphviz
   --emit-dir <dir>                            write deployable C sources
+  --dump-ir <dir>                             write post-pass IR dumps
+                                              (<NN>_<pass>.txt + .dot)
+  --print-pass-times                          per-pass compile-time breakdown
   --help                                      this text
 )");
 }
@@ -88,6 +94,11 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--dot") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.dot_path = v;
+    } else if (arg == "--dump-ir") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.dump_ir_dir = v;
+    } else if (arg == "--print-pass-times") {
+      opt.print_pass_times = true;
     } else if (arg == "--l1") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.l1_kb = std::atoll(v.c_str());
@@ -160,6 +171,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.dispatch.enable_tuned_cpu_library = opt.tuned_cpu;
+  options.instrument.dump_ir_dir = opt.dump_ir_dir;
   if (opt.l1_kb > 0) options.tiler.l1_budget_bytes = opt.l1_kb * 1024;
 
   auto network = LoadNetwork(opt, policy);
@@ -180,6 +192,13 @@ int main(int argc, char** argv) {
               artifact->PeakLatencyMs(), artifact->size.ToString().c_str(),
               artifact->memory_plan.fits ? "fits" : "OUT OF MEMORY");
 
+  if (!opt.dump_ir_dir.empty()) {
+    std::printf("dumped per-pass IR to %s\n", opt.dump_ir_dir.c_str());
+  }
+  if (opt.print_pass_times) {
+    std::printf("\npass timeline:\n%s",
+                compiler::PassTimelineToTable(artifact->pass_timeline).c_str());
+  }
   if (opt.report) {
     std::printf("\n%s", artifact->Profile().ToTable().c_str());
     if (!artifact->dispatch_log.empty()) {
