@@ -16,7 +16,13 @@ src/compiler/pass_manager.cpp
 src/compiler/compile_passes.hpp
 src/compiler/compile_passes.cpp
 src/compiler/pipeline.cpp
+src/cache/cache_key.hpp
+src/cache/cache_key.cpp
+src/cache/artifact_cache.hpp
+src/cache/artifact_cache.cpp
+src/ir/structural_hash.hpp
 tests/pass_manager_test.cpp
+tests/structural_hash_test.cpp
 "
 
 CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"

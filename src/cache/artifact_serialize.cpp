@@ -1,0 +1,797 @@
+#include "cache/artifact_serialize.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "ir/serialize.hpp"
+#include "support/string_utils.hpp"
+
+namespace htvm::cache {
+namespace {
+
+constexpr const char* kHeader = "htvm-artifact v1";
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+// Token escaping for free-form strings (names, dispatch reasons): percent-
+// encodes whitespace and '%' so every record stays one whitespace-split
+// line; the empty string renders as "%e" ('%' itself is always encoded, so
+// no literal collides).
+std::string Esc(const std::string& s) {
+  if (s.empty()) return "%e";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      out += '%';
+      out += kHexDigits[(static_cast<u8>(c) >> 4) & 0xf];
+      out += kHexDigits[static_cast<u8>(c) & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Result<std::string> Unesc(const std::string& s) {
+  if (s == "%e") return std::string();
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::InvalidArgument("bad escape: " + s);
+    const int hi = HexVal(s[i + 1]);
+    const int lo = HexVal(s[i + 2]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad escape: " + s);
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+// C99 hex-float rendering: exact, canonical, locale-independent in the "C"
+// locale the tools run under.
+std::string Dbl(double d) { return StrFormat("%a", d); }
+
+void AppendBytesHex(std::string& out, const u8* data, i64 size) {
+  out.reserve(out.size() + static_cast<size_t>(size) * 2);
+  for (i64 i = 0; i < size; ++i) {
+    out += kHexDigits[(data[i] >> 4) & 0xf];
+    out += kHexDigits[data[i] & 0xf];
+  }
+}
+
+// --- writer ---------------------------------------------------------------
+
+void WriteShape(std::string& out, const Shape& shape) {
+  out += " " + std::to_string(shape.rank());
+  for (i64 d : shape.dims()) out += " " + std::to_string(d);
+}
+
+void WriteAttrs(std::string& out, const AttrMap& attrs) {
+  out += " " + std::to_string(attrs.values().size());
+  for (const auto& [k, v] : attrs.values()) {
+    out += " " + Esc(k) + " " + EncodeAttrValue(v);
+  }
+}
+
+void WriteGraphNodes(std::string& out, const Graph& graph) {
+  for (const Node& n : graph.nodes()) {
+    switch (n.kind) {
+      case NodeKind::kInput:
+        out += "in " + Esc(n.name) + " " + DTypeName(n.type.dtype);
+        WriteShape(out, n.type.shape);
+        out += "\n";
+        break;
+      case NodeKind::kConstant:
+        out += "cn " + Esc(n.name) + " " + DTypeName(n.value.dtype());
+        WriteShape(out, n.value.shape());
+        out += " ";
+        AppendBytesHex(out, n.value.raw(), n.value.SizeBytes());
+        out += "\n";
+        break;
+      case NodeKind::kOp:
+        out += "op " + Esc(n.op) + " " + Esc(n.name) + " " +
+               std::to_string(n.inputs.size());
+        for (NodeId in : n.inputs) out += " " + std::to_string(in);
+        WriteAttrs(out, n.attrs);
+        out += "\n";
+        break;
+      case NodeKind::kComposite: {
+        out += "cp " + Esc(n.op) + " " + Esc(n.name) + " " +
+               std::to_string(n.inputs.size());
+        for (NodeId in : n.inputs) out += " " + std::to_string(in);
+        WriteAttrs(out, n.attrs);
+        out += "\n";
+        // Bodies hold only input/const/op nodes (no nesting), so the body
+        // block is flat: its records followed by one bodyout line.
+        WriteGraphNodes(out, *n.body);
+        out += "bodyout " + std::to_string(n.body->outputs().size());
+        for (NodeId id : n.body->outputs()) out += " " + std::to_string(id);
+        out += "\n";
+        break;
+      }
+    }
+  }
+}
+
+void WriteGraph(std::string& out, const Graph& graph) {
+  out += "graph " + std::to_string(graph.NumNodes()) + "\n";
+  WriteGraphNodes(out, graph);
+  out += "outputs " + std::to_string(graph.outputs().size());
+  for (NodeId id : graph.outputs()) out += " " + std::to_string(id);
+  out += "\n";
+}
+
+void WriteSchedule(std::string& out, const dory::AccelSchedule& s) {
+  out += StrFormat("sched %s %lld %lld %lld %lld %lld %lld %lld %lld %zu\n",
+                   dory::AccelTargetName(s.target),
+                   static_cast<long long>(s.macs),
+                   static_cast<long long>(s.compute_cycles),
+                   static_cast<long long>(s.weight_dma_cycles),
+                   static_cast<long long>(s.act_dma_cycles),
+                   static_cast<long long>(s.exposed_act_cycles),
+                   static_cast<long long>(s.overhead_cycles),
+                   static_cast<long long>(s.peak_cycles),
+                   static_cast<long long>(s.full_cycles), s.steps.size());
+  const dory::AccelLayerSpec& sp = s.spec;
+  out += StrFormat(
+      "spec %d %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld "
+      "%lld %lld %s %lld %d %zu",
+      static_cast<int>(sp.kind), static_cast<long long>(sp.c),
+      static_cast<long long>(sp.iy), static_cast<long long>(sp.ix),
+      static_cast<long long>(sp.k), static_cast<long long>(sp.oy),
+      static_cast<long long>(sp.ox), static_cast<long long>(sp.kh),
+      static_cast<long long>(sp.kw), static_cast<long long>(sp.sy),
+      static_cast<long long>(sp.sx), static_cast<long long>(sp.pad_t),
+      static_cast<long long>(sp.pad_l), static_cast<long long>(sp.pad_b),
+      static_cast<long long>(sp.pad_r), DTypeName(sp.weight_dtype),
+      static_cast<long long>(sp.requant.shift), sp.requant.relu ? 1 : 0,
+      sp.requant.channel_shifts.size());
+  for (i64 cs : sp.requant.channel_shifts) out += " " + std::to_string(cs);
+  out += "\n";
+  const dory::TileSolution& so = s.solution;
+  out += StrFormat(
+      "sol %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld %d %d %s %lld\n",
+      static_cast<long long>(so.c_t), static_cast<long long>(so.k_t),
+      static_cast<long long>(so.oy_t), static_cast<long long>(so.ox_t),
+      static_cast<long long>(so.iy_t), static_cast<long long>(so.ix_t),
+      static_cast<long long>(so.n_c), static_cast<long long>(so.n_k),
+      static_cast<long long>(so.n_y), static_cast<long long>(so.n_x),
+      so.needs_tiling ? 1 : 0, so.psum ? 1 : 0, Dbl(so.objective).c_str(),
+      static_cast<long long>(so.l1_bytes));
+  const dory::TilerOptions& t = s.options;
+  out += StrFormat("topt %s %s %s %d %d %d %lld\n", Dbl(t.alpha).c_str(),
+                   Dbl(t.beta_pe).c_str(), Dbl(t.beta_dma).c_str(),
+                   t.enable_pe_heuristics ? 1 : 0,
+                   t.enable_dma_heuristic ? 1 : 0, t.double_buffer ? 1 : 0,
+                   static_cast<long long>(t.l1_budget_bytes));
+  for (const dory::TileStep& st : s.steps) {
+    out += StrFormat(
+        "step %lld %lld %lld %lld %lld %lld %lld %lld %lld %lld %d %d %lld "
+        "%lld %lld %lld %lld\n",
+        static_cast<long long>(st.c0), static_cast<long long>(st.k0),
+        static_cast<long long>(st.y0), static_cast<long long>(st.x0),
+        static_cast<long long>(st.c_t), static_cast<long long>(st.k_t),
+        static_cast<long long>(st.oy_t), static_cast<long long>(st.ox_t),
+        static_cast<long long>(st.iy_t), static_cast<long long>(st.ix_t),
+        st.first_c ? 1 : 0, st.last_c ? 1 : 0,
+        static_cast<long long>(st.compute_cycles),
+        static_cast<long long>(st.in_dma_cycles),
+        static_cast<long long>(st.out_dma_cycles),
+        static_cast<long long>(st.weight_dma_cycles),
+        static_cast<long long>(st.setup_cycles));
+  }
+}
+
+// --- reader ---------------------------------------------------------------
+
+// Doubles are read as a token through strtod (istream operator>> does not
+// reliably parse hex-floats).
+Result<double> ReadDouble(std::istringstream& ls) {
+  std::string tok;
+  ls >> tok;
+  if (tok.empty()) return Status::InvalidArgument("missing double");
+  char* end = nullptr;
+  const double d = std::strtod(tok.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("bad double: " + tok);
+  }
+  return d;
+}
+
+Result<std::string> ReadEsc(std::istringstream& ls) {
+  std::string tok;
+  ls >> tok;
+  if (tok.empty()) return Status::InvalidArgument("missing string token");
+  return Unesc(tok);
+}
+
+Result<DType> ReadDType(std::istringstream& ls) {
+  std::string tok;
+  ls >> tok;
+  DType dtype;
+  if (!ParseDType(tok, &dtype)) {
+    return Status::InvalidArgument("bad dtype: " + tok);
+  }
+  return dtype;
+}
+
+Result<Shape> ReadShape(std::istringstream& ls) {
+  i64 rank = -1;
+  ls >> rank;
+  if (!ls || rank < 0 || rank > 8) {
+    return Status::InvalidArgument("shape rank out of range");
+  }
+  std::vector<i64> dims(static_cast<size_t>(rank));
+  for (i64& d : dims) {
+    ls >> d;
+    if (!ls || d < 0 || d > (i64{1} << 24)) {
+      return Status::InvalidArgument("shape dim out of range");
+    }
+  }
+  return Shape(dims);
+}
+
+Result<AttrMap> ReadAttrs(std::istringstream& ls) {
+  i64 n = -1;
+  ls >> n;
+  if (!ls || n < 0 || n > 64) {
+    return Status::InvalidArgument("attr count out of range");
+  }
+  AttrMap attrs;
+  for (i64 i = 0; i < n; ++i) {
+    HTVM_ASSIGN_OR_RETURN(key, ReadEsc(ls));
+    std::string token;
+    ls >> token;
+    if (!ls) return Status::InvalidArgument("truncated attrs");
+    HTVM_ASSIGN_OR_RETURN(value, DecodeAttrValue(token));
+    attrs.Set(key, std::move(value));
+  }
+  return attrs;
+}
+
+Result<std::vector<NodeId>> ReadIdList(std::istringstream& ls, i64 max) {
+  i64 n = -1;
+  ls >> n;
+  if (!ls || n < 0 || n > max) {
+    return Status::InvalidArgument("id count out of range");
+  }
+  std::vector<NodeId> ids(static_cast<size_t>(n));
+  for (NodeId& id : ids) {
+    ls >> id;
+    if (!ls) return Status::InvalidArgument("truncated id list");
+  }
+  return ids;
+}
+
+// Reads one graph node record into `g`. `kind` is the already-consumed
+// record tag; `stream` supplies follow-up lines for composite bodies.
+Status ReadNode(const std::string& kind, std::istringstream& ls,
+                std::istream& stream, Graph& g, bool allow_composite);
+
+Status ReadGraphNodes(std::istream& stream, i64 num_nodes, Graph& g,
+                      bool allow_composite, std::vector<NodeId>* outputs) {
+  std::string line;
+  while (g.NumNodes() < num_nodes || outputs != nullptr) {
+    if (!std::getline(stream, line)) {
+      return Status::InvalidArgument("truncated graph block");
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    const std::string end_tag = allow_composite ? "outputs" : "bodyout";
+    if (kind == end_tag) {
+      if (g.NumNodes() < num_nodes && allow_composite) {
+        return Status::InvalidArgument("graph block shorter than declared");
+      }
+      HTVM_ASSIGN_OR_RETURN(ids, ReadIdList(ls, g.NumNodes()));
+      for (NodeId id : ids) {
+        if (id < 0 || id >= g.NumNodes()) {
+          return Status::InvalidArgument("output id out of range");
+        }
+      }
+      if (ids.empty()) return Status::InvalidArgument("empty output list");
+      g.SetOutputs(std::move(ids));
+      return Status::Ok();
+    }
+    HTVM_RETURN_IF_ERROR(ReadNode(kind, ls, stream, g, allow_composite));
+  }
+  return Status::InvalidArgument("graph block missing outputs record");
+}
+
+Status ReadNode(const std::string& kind, std::istringstream& ls,
+                std::istream& stream, Graph& g, bool allow_composite) {
+  if (kind == "in") {
+    HTVM_ASSIGN_OR_RETURN(name, ReadEsc(ls));
+    HTVM_ASSIGN_OR_RETURN(dtype, ReadDType(ls));
+    HTVM_ASSIGN_OR_RETURN(shape, ReadShape(ls));
+    g.AddInput(name, {shape, dtype});
+    return Status::Ok();
+  }
+  if (kind == "cn") {
+    HTVM_ASSIGN_OR_RETURN(name, ReadEsc(ls));
+    HTVM_ASSIGN_OR_RETURN(dtype, ReadDType(ls));
+    HTVM_ASSIGN_OR_RETURN(shape, ReadShape(ls));
+    Tensor t(shape, dtype);
+    std::string hex;
+    ls >> hex;
+    if (static_cast<i64>(hex.size()) != t.SizeBytes() * 2) {
+      return Status::InvalidArgument("constant byte count mismatch");
+    }
+    for (i64 i = 0; i < t.SizeBytes(); ++i) {
+      const int hi = HexVal(hex[static_cast<size_t>(2 * i)]);
+      const int lo = HexVal(hex[static_cast<size_t>(2 * i + 1)]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("bad constant hex");
+      }
+      t.raw()[i] = static_cast<u8>((hi << 4) | lo);
+    }
+    g.AddConstant(std::move(t), name);
+    return Status::Ok();
+  }
+  if (kind == "op") {
+    HTVM_ASSIGN_OR_RETURN(op, ReadEsc(ls));
+    HTVM_ASSIGN_OR_RETURN(name, ReadEsc(ls));
+    HTVM_ASSIGN_OR_RETURN(inputs, ReadIdList(ls, 64));
+    HTVM_ASSIGN_OR_RETURN(attrs, ReadAttrs(ls));
+    auto id = g.TryAddOp(op, std::move(inputs), std::move(attrs), name);
+    if (!id.ok()) return id.status();
+    return Status::Ok();
+  }
+  if (kind == "cp") {
+    if (!allow_composite) {
+      return Status::InvalidArgument("nested composite in body");
+    }
+    HTVM_ASSIGN_OR_RETURN(op, ReadEsc(ls));
+    HTVM_ASSIGN_OR_RETURN(name, ReadEsc(ls));
+    HTVM_ASSIGN_OR_RETURN(inputs, ReadIdList(ls, 64));
+    HTVM_ASSIGN_OR_RETURN(attrs, ReadAttrs(ls));
+    auto body = std::make_shared<Graph>();
+    // Body blocks carry no node count; they end at their bodyout record.
+    HTVM_RETURN_IF_ERROR(ReadGraphNodes(
+        stream, /*num_nodes=*/(i64{1} << 40), *body,
+        /*allow_composite=*/false, /*outputs=*/nullptr));
+    const NodeId id =
+        g.AddComposite(op, std::move(inputs), std::move(body),
+                       std::move(attrs));
+    g.mutable_node(id).name = name;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown graph record: " + kind);
+}
+
+}  // namespace
+
+std::string SerializeArtifact(const compiler::Artifact& a) {
+  std::string out = std::string(kHeader) + "\n";
+
+  const hw::DianaConfig& hw = a.hw_config;
+  out += StrFormat("hw %lld %lld %s %lld\n",
+                   static_cast<long long>(hw.l1_bytes),
+                   static_cast<long long>(hw.l2_bytes),
+                   Dbl(hw.freq_mhz).c_str(),
+                   static_cast<long long>(hw.runtime_call_overhead));
+  out += StrFormat("hw.dma %lld %lld %lld\n",
+                   static_cast<long long>(hw.dma.setup_cycles),
+                   static_cast<long long>(hw.dma.bytes_per_cycle),
+                   static_cast<long long>(hw.dma.row_setup_cycles));
+  out += StrFormat("hw.digital %lld %lld %lld %lld %lld %lld %lld %s\n",
+                   static_cast<long long>(hw.digital.pe_rows),
+                   static_cast<long long>(hw.digital.pe_cols),
+                   static_cast<long long>(hw.digital.weight_mem_bytes),
+                   static_cast<long long>(hw.digital.dw_mac_num),
+                   static_cast<long long>(hw.digital.dw_mac_den),
+                   static_cast<long long>(hw.digital.tile_setup_cycles),
+                   static_cast<long long>(hw.digital.post_simd_lanes),
+                   Dbl(hw.digital.dw_marshal_cycles_per_elem).c_str());
+  out += StrFormat("hw.analog %lld %lld %lld %lld %lld %lld %lld %lld\n",
+                   static_cast<long long>(hw.analog.array_rows),
+                   static_cast<long long>(hw.analog.array_cols),
+                   static_cast<long long>(hw.analog.weight_mem_bytes),
+                   static_cast<long long>(hw.analog.layer_setup_cycles),
+                   static_cast<long long>(hw.analog.row_write_cycles),
+                   static_cast<long long>(hw.analog.cycles_per_pixel),
+                   static_cast<long long>(hw.analog.tile_setup_cycles),
+                   static_cast<long long>(hw.analog.input_bits));
+  out += StrFormat("hw.cpu %s %s %s %s %s %s %s %lld %s\n",
+                   Dbl(hw.cpu.conv_cycles_per_mac).c_str(),
+                   Dbl(hw.cpu.dwconv_cycles_per_mac).c_str(),
+                   Dbl(hw.cpu.dense_cycles_per_mac).c_str(),
+                   Dbl(hw.cpu.elemwise_cycles_per_elem).c_str(),
+                   Dbl(hw.cpu.pool_cycles_per_elem).c_str(),
+                   Dbl(hw.cpu.softmax_cycles_per_elem).c_str(),
+                   Dbl(hw.cpu.requant_cycles_per_elem).c_str(),
+                   static_cast<long long>(hw.cpu.kernel_overhead_cycles),
+                   Dbl(hw.cpu.tuned_library_speedup).c_str());
+
+  out += StrFormat("size %lld %lld %lld\n",
+                   static_cast<long long>(a.size.runtime_bytes),
+                   static_cast<long long>(a.size.code_bytes),
+                   static_cast<long long>(a.size.weight_bytes));
+
+  out += StrFormat("memplan %lld %lld %d %d %zu\n",
+                   static_cast<long long>(a.memory_plan.arena_bytes),
+                   static_cast<long long>(a.memory_plan.total_l2_bytes),
+                   a.memory_plan.fits ? 1 : 0, a.memory_plan.reuse ? 1 : 0,
+                   a.memory_plan.buffers.size());
+  for (const compiler::BufferAssignment& b : a.memory_plan.buffers) {
+    out += StrFormat("buffer %d %lld %lld %lld %lld\n", b.value,
+                     static_cast<long long>(b.offset),
+                     static_cast<long long>(b.size),
+                     static_cast<long long>(b.def_time),
+                     static_cast<long long>(b.last_use_time));
+  }
+
+  out += StrFormat("passes %zu\n", a.pass_timeline.size());
+  for (const compiler::PassStat& p : a.pass_timeline) {
+    out += StrFormat("pass %s %lld %lld %lld %d\n", Esc(p.name).c_str(),
+                     static_cast<long long>(p.wall_ns),
+                     static_cast<long long>(p.nodes_before),
+                     static_cast<long long>(p.nodes_after),
+                     p.skipped ? 1 : 0);
+  }
+
+  out += StrFormat("dispatch %zu\n", a.dispatch_log.size());
+  for (const compiler::DispatchDecision& d : a.dispatch_log) {
+    out += StrFormat("decision %d %s %s %s %s\n", d.root,
+                     Esc(d.pattern).c_str(), Esc(d.layer).c_str(),
+                     Esc(d.target).c_str(), Esc(d.reason).c_str());
+  }
+
+  WriteGraph(out, a.kernel_graph);
+
+  out += StrFormat("kernels %zu\n", a.kernels.size());
+  for (const compiler::CompiledKernel& k : a.kernels) {
+    out += StrFormat("kernel %s %s %d %lld %lld %d\n", Esc(k.name).c_str(),
+                     Esc(k.target).c_str(), k.node,
+                     static_cast<long long>(k.code_bytes),
+                     static_cast<long long>(k.weight_bytes),
+                     k.schedule.has_value() ? 1 : 0);
+    const hw::KernelPerf& p = k.perf;
+    out += StrFormat("perf %s %s %lld %lld %lld %lld %lld %lld %lld %lld\n",
+                     Esc(p.name).c_str(), Esc(p.target).c_str(),
+                     static_cast<long long>(p.macs),
+                     static_cast<long long>(p.peak_cycles),
+                     static_cast<long long>(p.full_cycles),
+                     static_cast<long long>(p.compute_cycles),
+                     static_cast<long long>(p.weight_dma_cycles),
+                     static_cast<long long>(p.act_dma_cycles),
+                     static_cast<long long>(p.overhead_cycles),
+                     static_cast<long long>(p.tiles));
+    if (k.schedule.has_value()) WriteSchedule(out, *k.schedule);
+  }
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || line != kHeader) {
+    return Status::InvalidArgument("missing htvm-artifact v1 header");
+  }
+  compiler::Artifact a;
+  hw::DianaConfig& hw = a.hw_config;
+
+  // Fixed prefix: hw blocks, size, memplan.
+  auto next = [&](const char* want) -> Result<std::istringstream> {
+    if (!std::getline(stream, line)) {
+      return Status::InvalidArgument(std::string("truncated before ") + want);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != want) {
+      return Status::InvalidArgument(StrFormat("expected %s record, got %s",
+                                               want, tag.c_str()));
+    }
+    return ls;
+  };
+
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("hw"));
+    ls >> hw.l1_bytes >> hw.l2_bytes;
+    HTVM_ASSIGN_OR_RETURN(freq, ReadDouble(ls));
+    hw.freq_mhz = freq;
+    ls >> hw.runtime_call_overhead;
+    if (!ls) return Status::InvalidArgument("truncated hw record");
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("hw.dma"));
+    ls >> hw.dma.setup_cycles >> hw.dma.bytes_per_cycle >>
+        hw.dma.row_setup_cycles;
+    if (!ls) return Status::InvalidArgument("truncated hw.dma record");
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("hw.digital"));
+    ls >> hw.digital.pe_rows >> hw.digital.pe_cols >>
+        hw.digital.weight_mem_bytes >> hw.digital.dw_mac_num >>
+        hw.digital.dw_mac_den >> hw.digital.tile_setup_cycles >>
+        hw.digital.post_simd_lanes;
+    HTVM_ASSIGN_OR_RETURN(marshal, ReadDouble(ls));
+    hw.digital.dw_marshal_cycles_per_elem = marshal;
+    if (!ls) return Status::InvalidArgument("truncated hw.digital record");
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("hw.analog"));
+    ls >> hw.analog.array_rows >> hw.analog.array_cols >>
+        hw.analog.weight_mem_bytes >> hw.analog.layer_setup_cycles >>
+        hw.analog.row_write_cycles >> hw.analog.cycles_per_pixel >>
+        hw.analog.tile_setup_cycles >> hw.analog.input_bits;
+    if (!ls) return Status::InvalidArgument("truncated hw.analog record");
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("hw.cpu"));
+    HTVM_ASSIGN_OR_RETURN(conv, ReadDouble(ls));
+    HTVM_ASSIGN_OR_RETURN(dw, ReadDouble(ls));
+    HTVM_ASSIGN_OR_RETURN(dense, ReadDouble(ls));
+    HTVM_ASSIGN_OR_RETURN(elem, ReadDouble(ls));
+    HTVM_ASSIGN_OR_RETURN(pool, ReadDouble(ls));
+    HTVM_ASSIGN_OR_RETURN(softmax, ReadDouble(ls));
+    HTVM_ASSIGN_OR_RETURN(requant, ReadDouble(ls));
+    ls >> hw.cpu.kernel_overhead_cycles;
+    HTVM_ASSIGN_OR_RETURN(tuned, ReadDouble(ls));
+    hw.cpu.conv_cycles_per_mac = conv;
+    hw.cpu.dwconv_cycles_per_mac = dw;
+    hw.cpu.dense_cycles_per_mac = dense;
+    hw.cpu.elemwise_cycles_per_elem = elem;
+    hw.cpu.pool_cycles_per_elem = pool;
+    hw.cpu.softmax_cycles_per_elem = softmax;
+    hw.cpu.requant_cycles_per_elem = requant;
+    hw.cpu.tuned_library_speedup = tuned;
+    if (!ls) return Status::InvalidArgument("truncated hw.cpu record");
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("size"));
+    ls >> a.size.runtime_bytes >> a.size.code_bytes >> a.size.weight_bytes;
+    if (!ls) return Status::InvalidArgument("truncated size record");
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("memplan"));
+    int fits = 1, reuse = 1;
+    i64 n = -1;
+    ls >> a.memory_plan.arena_bytes >> a.memory_plan.total_l2_bytes >> fits >>
+        reuse >> n;
+    if (!ls || n < 0 || n > (i64{1} << 20)) {
+      return Status::InvalidArgument("truncated memplan record");
+    }
+    a.memory_plan.fits = fits != 0;
+    a.memory_plan.reuse = reuse != 0;
+    a.memory_plan.buffers.resize(static_cast<size_t>(n));
+    for (compiler::BufferAssignment& b : a.memory_plan.buffers) {
+      HTVM_ASSIGN_OR_RETURN(bls, next("buffer"));
+      bls >> b.value >> b.offset >> b.size >> b.def_time >> b.last_use_time;
+      if (!bls) return Status::InvalidArgument("truncated buffer record");
+    }
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("passes"));
+    i64 n = -1;
+    ls >> n;
+    if (!ls || n < 0 || n > 1024) {
+      return Status::InvalidArgument("bad pass count");
+    }
+    a.pass_timeline.resize(static_cast<size_t>(n));
+    for (compiler::PassStat& p : a.pass_timeline) {
+      HTVM_ASSIGN_OR_RETURN(pls, next("pass"));
+      HTVM_ASSIGN_OR_RETURN(name, ReadEsc(pls));
+      p.name = name;
+      int skipped = 0;
+      pls >> p.wall_ns >> p.nodes_before >> p.nodes_after >> skipped;
+      if (!pls) return Status::InvalidArgument("truncated pass record");
+      p.skipped = skipped != 0;
+    }
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("dispatch"));
+    i64 n = -1;
+    ls >> n;
+    if (!ls || n < 0 || n > (i64{1} << 20)) {
+      return Status::InvalidArgument("bad dispatch count");
+    }
+    a.dispatch_log.resize(static_cast<size_t>(n));
+    for (compiler::DispatchDecision& d : a.dispatch_log) {
+      HTVM_ASSIGN_OR_RETURN(dls, next("decision"));
+      dls >> d.root;
+      if (!dls) return Status::InvalidArgument("truncated decision record");
+      HTVM_ASSIGN_OR_RETURN(pattern, ReadEsc(dls));
+      HTVM_ASSIGN_OR_RETURN(layer, ReadEsc(dls));
+      HTVM_ASSIGN_OR_RETURN(target, ReadEsc(dls));
+      HTVM_ASSIGN_OR_RETURN(reason, ReadEsc(dls));
+      d.pattern = pattern;
+      d.layer = layer;
+      d.target = target;
+      d.reason = reason;
+    }
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("graph"));
+    i64 n = -1;
+    ls >> n;
+    if (!ls || n < 0 || n > (i64{1} << 20)) {
+      return Status::InvalidArgument("bad graph node count");
+    }
+    std::vector<NodeId> outputs;
+    HTVM_RETURN_IF_ERROR(ReadGraphNodes(stream, n, a.kernel_graph,
+                                        /*allow_composite=*/true, &outputs));
+    HTVM_RETURN_IF_ERROR(a.kernel_graph.Validate());
+  }
+  {
+    HTVM_ASSIGN_OR_RETURN(ls, next("kernels"));
+    i64 n = -1;
+    ls >> n;
+    if (!ls || n < 0 || n > (i64{1} << 16)) {
+      return Status::InvalidArgument("bad kernel count");
+    }
+    a.kernels.resize(static_cast<size_t>(n));
+    for (compiler::CompiledKernel& k : a.kernels) {
+      HTVM_ASSIGN_OR_RETURN(kls, next("kernel"));
+      HTVM_ASSIGN_OR_RETURN(kname, ReadEsc(kls));
+      HTVM_ASSIGN_OR_RETURN(ktarget, ReadEsc(kls));
+      k.name = kname;
+      k.target = ktarget;
+      int has_sched = 0;
+      kls >> k.node >> k.code_bytes >> k.weight_bytes >> has_sched;
+      if (!kls) return Status::InvalidArgument("truncated kernel record");
+      if (k.node < 0 || k.node >= a.kernel_graph.NumNodes()) {
+        return Status::InvalidArgument("kernel node id out of range");
+      }
+      {
+        HTVM_ASSIGN_OR_RETURN(pls, next("perf"));
+        HTVM_ASSIGN_OR_RETURN(pname, ReadEsc(pls));
+        HTVM_ASSIGN_OR_RETURN(ptarget, ReadEsc(pls));
+        k.perf.name = pname;
+        k.perf.target = ptarget;
+        pls >> k.perf.macs >> k.perf.peak_cycles >> k.perf.full_cycles >>
+            k.perf.compute_cycles >> k.perf.weight_dma_cycles >>
+            k.perf.act_dma_cycles >> k.perf.overhead_cycles >> k.perf.tiles;
+        if (!pls) return Status::InvalidArgument("truncated perf record");
+      }
+      if (!has_sched) continue;
+      dory::AccelSchedule s;
+      {
+        HTVM_ASSIGN_OR_RETURN(sls, next("sched"));
+        std::string target;
+        i64 nsteps = -1;
+        sls >> target;
+        s.target = target == "analog" ? dory::AccelTarget::kAnalog
+                                      : dory::AccelTarget::kDigital;
+        sls >> s.macs >> s.compute_cycles >> s.weight_dma_cycles >>
+            s.act_dma_cycles >> s.exposed_act_cycles >> s.overhead_cycles >>
+            s.peak_cycles >> s.full_cycles >> nsteps;
+        if (!sls || nsteps < 0 || nsteps > (i64{1} << 20)) {
+          return Status::InvalidArgument("truncated sched record");
+        }
+        s.steps.resize(static_cast<size_t>(nsteps));
+      }
+      {
+        HTVM_ASSIGN_OR_RETURN(sls, next("spec"));
+        int kind = 0, relu = 0;
+        i64 nch = -1;
+        sls >> kind >> s.spec.c >> s.spec.iy >> s.spec.ix >> s.spec.k >>
+            s.spec.oy >> s.spec.ox >> s.spec.kh >> s.spec.kw >> s.spec.sy >>
+            s.spec.sx >> s.spec.pad_t >> s.spec.pad_l >> s.spec.pad_b >>
+            s.spec.pad_r;
+        if (!sls || kind < 0 || kind > 3) {
+          return Status::InvalidArgument("truncated spec record");
+        }
+        s.spec.kind = static_cast<dory::LayerKind>(kind);
+        HTVM_ASSIGN_OR_RETURN(wdtype, ReadDType(sls));
+        s.spec.weight_dtype = wdtype;
+        sls >> s.spec.requant.shift >> relu >> nch;
+        if (!sls || nch < 0 || nch > (i64{1} << 20)) {
+          return Status::InvalidArgument("truncated spec requant");
+        }
+        s.spec.requant.relu = relu != 0;
+        s.spec.requant.channel_shifts.resize(static_cast<size_t>(nch));
+        for (i64& cs : s.spec.requant.channel_shifts) sls >> cs;
+        if (!sls) return Status::InvalidArgument("truncated channel shifts");
+      }
+      {
+        HTVM_ASSIGN_OR_RETURN(sls, next("sol"));
+        int needs = 0, psum = 0;
+        sls >> s.solution.c_t >> s.solution.k_t >> s.solution.oy_t >>
+            s.solution.ox_t >> s.solution.iy_t >> s.solution.ix_t >>
+            s.solution.n_c >> s.solution.n_k >> s.solution.n_y >>
+            s.solution.n_x >> needs >> psum;
+        HTVM_ASSIGN_OR_RETURN(obj, ReadDouble(sls));
+        s.solution.objective = obj;
+        sls >> s.solution.l1_bytes;
+        if (!sls) return Status::InvalidArgument("truncated sol record");
+        s.solution.needs_tiling = needs != 0;
+        s.solution.psum = psum != 0;
+      }
+      {
+        HTVM_ASSIGN_OR_RETURN(sls, next("topt"));
+        HTVM_ASSIGN_OR_RETURN(alpha, ReadDouble(sls));
+        HTVM_ASSIGN_OR_RETURN(beta_pe, ReadDouble(sls));
+        HTVM_ASSIGN_OR_RETURN(beta_dma, ReadDouble(sls));
+        s.options.alpha = alpha;
+        s.options.beta_pe = beta_pe;
+        s.options.beta_dma = beta_dma;
+        int pe = 1, dma = 1, db = 1;
+        sls >> pe >> dma >> db >> s.options.l1_budget_bytes;
+        if (!sls) return Status::InvalidArgument("truncated topt record");
+        s.options.enable_pe_heuristics = pe != 0;
+        s.options.enable_dma_heuristic = dma != 0;
+        s.options.double_buffer = db != 0;
+      }
+      for (dory::TileStep& st : s.steps) {
+        HTVM_ASSIGN_OR_RETURN(sls, next("step"));
+        int first = 1, last = 1;
+        sls >> st.c0 >> st.k0 >> st.y0 >> st.x0 >> st.c_t >> st.k_t >>
+            st.oy_t >> st.ox_t >> st.iy_t >> st.ix_t >> first >> last >>
+            st.compute_cycles >> st.in_dma_cycles >> st.out_dma_cycles >>
+            st.weight_dma_cycles >> st.setup_cycles;
+        if (!sls) return Status::InvalidArgument("truncated step record");
+        st.first_c = first != 0;
+        st.last_c = last != 0;
+      }
+      k.schedule = std::move(s);
+    }
+  }
+  if (!std::getline(stream, line) || line != "end") {
+    return Status::InvalidArgument("missing end record");
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<compiler::Artifact> DeserializeArtifact(const std::string& text) {
+  // std::stoll inside the attr decoder throws on malformed numbers; surface
+  // every parse failure as a recoverable status (a corrupted cache file
+  // must degrade to a miss, never abort the server).
+  try {
+    return DeserializeArtifactImpl(text);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("artifact parse error: ") +
+                                   e.what());
+  }
+}
+
+Status SaveArtifact(const compiler::Artifact& artifact,
+                    const std::string& path) {
+  // Atomic publish: concurrent compilers may race on the same key; rename
+  // makes readers see either nothing or a complete file.
+  const std::string tmp =
+      path + StrFormat(".tmp.%d", static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp);
+    if (!out) return Status::Internal("cannot open " + tmp);
+    out << SerializeArtifact(artifact);
+    if (!out.good()) return Status::Internal("cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<compiler::Artifact> LoadArtifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeArtifact(buffer.str());
+}
+
+}  // namespace htvm::cache

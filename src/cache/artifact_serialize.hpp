@@ -1,0 +1,35 @@
+// Text serialization of compiled Artifacts — the persistence format of the
+// on-disk artifact cache (docs/artifact_cache.md).
+//
+// Everything the Artifact carries round-trips: the lowered kernel graph
+// (including composite bodies and constant payload bytes), every compiled
+// kernel with its perf counters and DORY tile schedule, the dispatch log,
+// the pass timeline, the L2 memory plan, the binary-size report and the
+// DianaConfig. The writer is deterministic and the reader reconstructs
+// bit-identical state, so
+//
+//     SerializeArtifact(*DeserializeArtifact(SerializeArtifact(a)))
+//         == SerializeArtifact(a)
+//
+// and every downstream consumer (reports, C emission, the Executor) sees a
+// loaded artifact as byte-identical to the cold compile that produced it.
+// Doubles are printed as C99 hex-floats, constants as raw little-endian
+// byte hex — both exact, platform- and locale-stable.
+#pragma once
+
+#include <string>
+
+#include "compiler/artifact.hpp"
+
+namespace htvm::cache {
+
+std::string SerializeArtifact(const compiler::Artifact& artifact);
+
+Result<compiler::Artifact> DeserializeArtifact(const std::string& text);
+
+// Convenience file I/O (SaveArtifact writes atomically: tmp file + rename).
+Status SaveArtifact(const compiler::Artifact& artifact,
+                    const std::string& path);
+Result<compiler::Artifact> LoadArtifact(const std::string& path);
+
+}  // namespace htvm::cache

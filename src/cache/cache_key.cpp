@@ -1,0 +1,104 @@
+#include "cache/cache_key.hpp"
+
+namespace htvm::cache {
+namespace {
+
+constexpr u64 kOptionsFingerprintVersion = 1;
+
+void HashDmaConfig(ir::Hasher& h, const hw::DmaConfig& c) {
+  h.Add(c.setup_cycles).Add(c.bytes_per_cycle).Add(c.row_setup_cycles);
+}
+
+void HashDigitalConfig(ir::Hasher& h, const hw::DigitalConfig& c) {
+  h.Add(c.pe_rows)
+      .Add(c.pe_cols)
+      .Add(c.weight_mem_bytes)
+      .Add(c.dw_mac_num)
+      .Add(c.dw_mac_den)
+      .Add(c.tile_setup_cycles)
+      .Add(c.post_simd_lanes)
+      .AddDouble(c.dw_marshal_cycles_per_elem);
+}
+
+void HashAnalogConfig(ir::Hasher& h, const hw::AnalogConfig& c) {
+  h.Add(c.array_rows)
+      .Add(c.array_cols)
+      .Add(c.weight_mem_bytes)
+      .Add(c.layer_setup_cycles)
+      .Add(c.row_write_cycles)
+      .Add(c.cycles_per_pixel)
+      .Add(c.tile_setup_cycles)
+      .Add(c.input_bits);
+}
+
+void HashCpuConfig(ir::Hasher& h, const hw::CpuConfig& c) {
+  h.AddDouble(c.conv_cycles_per_mac)
+      .AddDouble(c.dwconv_cycles_per_mac)
+      .AddDouble(c.dense_cycles_per_mac)
+      .AddDouble(c.elemwise_cycles_per_elem)
+      .AddDouble(c.pool_cycles_per_elem)
+      .AddDouble(c.softmax_cycles_per_elem)
+      .AddDouble(c.requant_cycles_per_elem)
+      .Add(c.kernel_overhead_cycles)
+      .AddDouble(c.tuned_library_speedup);
+}
+
+void HashHwConfig(ir::Hasher& h, const hw::DianaConfig& c) {
+  h.Add(c.l1_bytes)
+      .Add(c.l2_bytes)
+      .AddDouble(c.freq_mhz)
+      .Add(c.runtime_call_overhead);
+  HashDmaConfig(h, c.dma);
+  HashDigitalConfig(h, c.digital);
+  HashAnalogConfig(h, c.analog);
+  HashCpuConfig(h, c.cpu);
+}
+
+void HashTilerOptions(ir::Hasher& h, const dory::TilerOptions& t) {
+  h.AddDouble(t.alpha)
+      .AddDouble(t.beta_pe)
+      .AddDouble(t.beta_dma)
+      .Add(t.enable_pe_heuristics)
+      .Add(t.enable_dma_heuristic)
+      .Add(t.double_buffer)
+      .Add(t.l1_budget_bytes);
+}
+
+void HashSizeModel(ir::Hasher& h, const tvmgen::SizeModelConfig& s) {
+  h.Add(s.tvm_runtime_bytes)
+      .Add(s.htvm_runtime_bytes)
+      .Add(s.cpu_conv_code)
+      .Add(s.cpu_dwconv_code)
+      .Add(s.cpu_dense_code)
+      .Add(s.cpu_pool_code)
+      .Add(s.cpu_softmax_code)
+      .Add(s.cpu_elemwise_code)
+      .Add(s.cpu_fused_epilogue_code)
+      .Add(s.accel_kernel_code)
+      .Add(s.accel_tile_loop_code)
+      .AddDouble(s.tuned_kernel_code_factor);
+}
+
+}  // namespace
+
+ir::Hash128 OptionsFingerprint(const compiler::CompileOptions& options) {
+  ir::Hasher h(/*seed=*/0x6f707473ull);  // "opts"
+  h.Add(kOptionsFingerprintVersion);
+  h.Add(options.dispatch.enable_digital)
+      .Add(options.dispatch.enable_analog)
+      .Add(options.dispatch.enable_tuned_cpu_library)
+      .Add(options.plain_tvm);
+  HashTilerOptions(h, options.tiler);
+  HashSizeModel(h, options.size_model);
+  HashHwConfig(h, options.hw);
+  // options.instrument and options.cache are intentionally absent: IR
+  // dumping, validation and the cache wiring never change the artifact.
+  return h.Digest();
+}
+
+CacheKey MakeCacheKey(const Graph& network,
+                      const compiler::CompileOptions& options) {
+  return CacheKey{ir::StructuralHash(network), OptionsFingerprint(options)};
+}
+
+}  // namespace htvm::cache

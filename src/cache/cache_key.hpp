@@ -1,0 +1,45 @@
+// Content-addressed cache keys for compiled artifacts.
+//
+// A key is the pair (structural graph hash, CompileOptions fingerprint):
+// HTVM compiles ahead of time and every pass is a deterministic function of
+// (network, options), so equal keys imply byte-identical artifacts. The
+// graph half comes from ir::StructuralHash (NodeId-numbering and
+// insertion-order invariant); the options half folds in every field of
+// CompileOptions that reaches a pass — dispatch toggles, the plain-TVM
+// flag, tiler weights, the size model, and the full DianaConfig — and
+// deliberately excludes instrumentation knobs (verify/--dump-ir) and the
+// cache pointer itself, which change diagnostics but never the artifact.
+//
+// docs/artifact_cache.md spells out the key definition and its
+// invalidation rules.
+#pragma once
+
+#include <string>
+
+#include "compiler/pipeline.hpp"
+#include "ir/structural_hash.hpp"
+
+namespace htvm::cache {
+
+// 128-bit fingerprint of every artifact-affecting CompileOptions field.
+// Bump kOptionsFingerprintVersion whenever a new field is added to
+// CompileOptions (or a default changes meaning) so stale on-disk entries
+// can never be served for a semantically different configuration.
+ir::Hash128 OptionsFingerprint(const compiler::CompileOptions& options);
+
+struct CacheKey {
+  ir::Hash128 graph;
+  ir::Hash128 options;
+
+  bool operator==(const CacheKey& o) const {
+    return graph == o.graph && options == o.options;
+  }
+  // 64 hex chars (graph hash then options fingerprint) — the in-memory map
+  // key and the on-disk file stem.
+  std::string ToString() const { return graph.ToHex() + options.ToHex(); }
+};
+
+CacheKey MakeCacheKey(const Graph& network,
+                      const compiler::CompileOptions& options);
+
+}  // namespace htvm::cache

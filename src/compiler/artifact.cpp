@@ -15,6 +15,12 @@ i64 Artifact::TotalFullCycles() const {
   return total;
 }
 
+i64 PassTimelineTotalNs(const PassTimeline& timeline) {
+  i64 total = 0;
+  for (const PassStat& stat : timeline) total += stat.wall_ns;
+  return total;
+}
+
 i64 Artifact::TotalPeakCycles() const {
   i64 total = 0;
   for (const CompiledKernel& k : kernels) {

@@ -50,8 +50,16 @@ struct PassStat {
   i64 wall_ns = 0;       // steady-clock duration of the pass
   i64 nodes_before = 0;  // state.graph size entering the pass
   i64 nodes_after = 0;   // ... and leaving it
+  // The pass ran but reported no graph change (no rewrites, node count
+  // unchanged), so post-pass re-validation and IR dumps were skipped;
+  // rendered as "skipped" by --print-pass-times.
+  bool skipped = false;
 };
 using PassTimeline = std::vector<PassStat>;
+
+// Total wall-clock nanoseconds across the timeline — the cost a cache hit
+// on this artifact avoids (reported by the artifact cache as saved time).
+i64 PassTimelineTotalNs(const PassTimeline& timeline);
 
 struct Artifact {
   Graph kernel_graph;  // inputs + constants + composites only

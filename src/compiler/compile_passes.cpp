@@ -18,7 +18,13 @@ class AbsorbPaddingPass final : public Pass {
  public:
   std::string_view name() const override { return "AbsorbPadding"; }
   Status Run(CompileState& state) const override {
-    state.graph = AbsorbPadding(state.graph);
+    const i64 before = state.graph.NumNodes();
+    i64 rewrites = 0;
+    state.graph = AbsorbPadding(state.graph, &rewrites);
+    // No absorbed pads and no DCE shrinkage => MapGraph cloned the graph
+    // verbatim; tell the manager so it can skip re-validation and dumps.
+    state.pass_changed_graph =
+        rewrites > 0 || state.graph.NumNodes() != before;
     return Status::Ok();
   }
 };
@@ -27,7 +33,11 @@ class ConstantFoldPass final : public Pass {
  public:
   std::string_view name() const override { return "ConstantFold"; }
   Status Run(CompileState& state) const override {
-    state.graph = ConstantFold(state.graph, nn::StandardEvaluator());
+    const i64 before = state.graph.NumNodes();
+    i64 rewrites = 0;
+    state.graph = ConstantFold(state.graph, nn::StandardEvaluator(), &rewrites);
+    state.pass_changed_graph =
+        rewrites > 0 || state.graph.NumNodes() != before;
     return Status::Ok();
   }
 };
@@ -38,7 +48,10 @@ class PartitionGraphPass final : public Pass {
  public:
   std::string_view name() const override { return "PartitionGraph"; }
   Status Run(CompileState& state) const override {
-    if (state.options.plain_tvm) return Status::Ok();  // CPU-only baseline
+    if (state.options.plain_tvm) {  // CPU-only baseline
+      state.pass_changed_graph = false;
+      return Status::Ok();
+    }
     const auto rules = MakeDianaDispatchRules(
         state.options.dispatch, state.options.hw, state.options.tiler,
         &state.artifact.dispatch_log);
@@ -51,7 +64,10 @@ class InsertAnalogInputClampsPass final : public Pass {
  public:
   std::string_view name() const override { return "InsertAnalogInputClamps"; }
   Status Run(CompileState& state) const override {
-    if (state.options.plain_tvm) return Status::Ok();
+    if (state.options.plain_tvm) {
+      state.pass_changed_graph = false;
+      return Status::Ok();
+    }
     state.graph = InsertAnalogInputClamps(state.graph);
     return Status::Ok();
   }

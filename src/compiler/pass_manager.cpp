@@ -76,8 +76,54 @@ std::vector<std::string> PassManager::PassNames() const {
 
 Status PassManager::Run(CompileState& state,
                         const PassInstrumentation& instrument) const {
+  return Run(state.graph, state, instrument);
+}
+
+Status PassManager::Run(const Graph& network, CompileState& state,
+                        const PassInstrumentation& instrument) const {
+  // Artifact cache interception: a hit replaces the whole pipeline with the
+  // stored artifact (its pass_timeline is the original compile's, so every
+  // downstream report is byte-identical to the cold compile). IR dumping
+  // bypasses the lookup — dumps are a debugging tool and must always show
+  // this compile's passes — but the result is still stored.
+  ArtifactCacheHook* cache = state.options.cache;
+  std::string cache_key;
+  if (cache != nullptr) {
+    cache_key = cache->Key(network, state.options);
+    if (instrument.dump_ir_dir.empty()) {
+      if (auto cached = cache->Lookup(cache_key)) {
+        state.artifact = *cached;
+        return Status::Ok();
+      }
+    }
+  }
+  // Input validation runs only when the pipeline actually executes: the
+  // cache key covers the graph's full content, so a hit proves an
+  // identical, previously validated graph compiled to this artifact.
+  if (const Status valid = network.Validate(); !valid.ok()) {
+    return Status(valid.code(), "input graph: " + valid.message());
+  }
+  if (&state.graph != &network) state.graph = network;
+
   state.artifact.pass_timeline.clear();
-  if (!instrument.dump_ir_dir.empty()) {
+  // With --dump-ir-filter only the graphs around the named pass are
+  // written: the one entering it (the preceding stage's output) and the
+  // one it produced.
+  const auto filtered_out = [&](int idx) {
+    if (instrument.dump_ir_filter.empty()) return false;
+    const size_t i = static_cast<size_t>(idx);
+    const bool self = i < passes_.size() &&
+                      passes_[i]->name() == instrument.dump_ir_filter;
+    const bool feeds_next = i + 1 < passes_.size() &&
+                            passes_[i + 1]->name() == instrument.dump_ir_filter;
+    return !self && !feeds_next;
+  };
+  // The pipeline input is dumped when unfiltered, or when the first pass is
+  // the filtered one (it is that pass's input).
+  if (!instrument.dump_ir_dir.empty() &&
+      (instrument.dump_ir_filter.empty() ||
+       (!passes_.empty() &&
+        passes_[0]->name() == instrument.dump_ir_filter))) {
     HTVM_RETURN_IF_ERROR(
         WriteIrDump(instrument.dump_ir_dir, 0, "input", state.graph));
   }
@@ -87,6 +133,7 @@ Status PassManager::Run(CompileState& state,
     PassStat stat;
     stat.name = std::string(pass->name());
     stat.nodes_before = state.graph.NumNodes();
+    state.pass_changed_graph = true;
     const auto start = std::chrono::steady_clock::now();
     const Status status = pass->Run(state);
     stat.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -97,9 +144,15 @@ Status PassManager::Run(CompileState& state,
                     "pass " + stat.name + ": " + status.message());
     }
     stat.nodes_after = state.graph.NumNodes();
+    // Pass-level early-exit: a rewriting pass that reported no change (and
+    // whose node count agrees) needs no re-validation and no IR dump — the
+    // graph is the one the previous pass already validated/dumped.
+    stat.skipped = pass->mutates_graph() && !state.pass_changed_graph &&
+                   stat.nodes_before == stat.nodes_after;
+    const bool skipped = stat.skipped;
     state.artifact.pass_timeline.push_back(std::move(stat));
     if (!pass->mutates_graph()) continue;
-    if (instrument.verify) {
+    if (!skipped && instrument.verify) {
       if (const Status valid = state.graph.Validate(); !valid.ok()) {
         return Status::Internal(
             StrFormat("pass %s produced an invalid graph: %s",
@@ -107,11 +160,15 @@ Status PassManager::Run(CompileState& state,
                       valid.ToString().c_str()));
       }
     }
-    if (!instrument.dump_ir_dir.empty()) {
+    // Skipped passes write no dump — except under a filter, where the
+    // explicitly requested around-the-pass pair stays complete.
+    if (!instrument.dump_ir_dir.empty() && !filtered_out(index - 1) &&
+        (!skipped || !instrument.dump_ir_filter.empty())) {
       HTVM_RETURN_IF_ERROR(WriteIrDump(instrument.dump_ir_dir, index,
                                        pass->name(), state.graph));
     }
   }
+  if (cache != nullptr) cache->Store(cache_key, state.artifact);
   return Status::Ok();
 }
 
@@ -121,10 +178,11 @@ std::string PassTimelineToTable(const PassTimeline& timeline) {
   i64 total_ns = 0;
   for (const PassStat& stat : timeline) {
     total_ns += stat.wall_ns;
-    out += StrFormat("%-26s %12.1f %6lld -> %-6lld\n", stat.name.c_str(),
+    out += StrFormat("%-26s %12.1f %6lld -> %-6lld%s\n", stat.name.c_str(),
                      static_cast<double>(stat.wall_ns) / 1e3,
                      static_cast<long long>(stat.nodes_before),
-                     static_cast<long long>(stat.nodes_after));
+                     static_cast<long long>(stat.nodes_after),
+                     stat.skipped ? " skipped" : "");
   }
   out += StrFormat("%-26s %12.1f\n", "total",
                    static_cast<double>(total_ns) / 1e3);

@@ -33,6 +33,36 @@ struct CompileState {
   Artifact artifact;
   // Human-readable notes passes may leave for diagnostics/reports.
   std::vector<std::string> diagnostics;
+  // Early-exit channel: the PassManager resets this to true before each
+  // pass; a graph-rewriting pass that can prove it changed nothing (e.g.
+  // AbsorbPadding with zero absorbed pads) sets it to false, and the
+  // manager then skips post-pass re-validation and IR dumps, marking the
+  // PassStat as skipped.
+  bool pass_changed_graph = true;
+};
+
+// Compiled-artifact cache interception (ROADMAP "serve-layer artifact
+// caching"). PassManager::Run calls Key() once on the *input* network, asks
+// Lookup() before executing any pass (a hit replaces the whole pipeline),
+// and hands the finished artifact to Store() after the last pass. The
+// production implementation — content-addressed keys via
+// ir::StructuralHash, byte-budgeted LRU, on-disk persistence — lives in
+// src/cache; the compiler only sees this interface, keeping the dependency
+// arrow cache -> compiler.
+//
+// Implementations must be thread-safe: concurrent compiles (the serving
+// fleet) share one process-wide cache.
+class ArtifactCacheHook {
+ public:
+  virtual ~ArtifactCacheHook() = default;
+  // Canonical cache key for (network, options). Must not depend on NodeId
+  // numbering, insertion order, or instrumentation knobs.
+  virtual std::string Key(const Graph& network,
+                          const CompileOptions& options) = 0;
+  // Returns the cached artifact for `key`, or nullptr on a miss.
+  virtual std::shared_ptr<const Artifact> Lookup(const std::string& key) = 0;
+  // Called with the freshly compiled artifact after a miss.
+  virtual void Store(const std::string& key, const Artifact& artifact) = 0;
 };
 
 // One pipeline stage. Passes must be deterministic functions of the state:
@@ -63,6 +93,13 @@ class PassManager {
   // status names the offending pass. Inter-pass validation failures are
   // reported as kInternal.
   Status Run(CompileState& state,
+             const PassInstrumentation& instrument = {}) const;
+
+  // Cache-aware entry point: consults state.options.cache keyed on
+  // `network` and, on a hit, fills state.artifact without ever copying the
+  // network into the state — the hit path costs one structural hash. On a
+  // miss, copies `network` into state.graph and runs the pipeline.
+  Status Run(const Graph& network, CompileState& state,
              const PassInstrumentation& instrument = {}) const;
 
  private:

@@ -44,11 +44,13 @@ Graph InsertAnalogInputClamps(const Graph& partitioned) {
 }
 
 Result<Artifact> HtvmCompiler::Compile(const Graph& network) const {
-  HTVM_RETURN_IF_ERROR(network.Validate());
+  // Input validation happens inside PassManager::Run, after the artifact-
+  // cache lookup: a hit proves this exact graph content validated and
+  // compiled before, so the hit path skips the re-check (and never copies
+  // the network into the state).
   CompileState state(options_);
-  state.graph = network;
   const PassManager pipeline = BuildHtvmPassPipeline();
-  HTVM_RETURN_IF_ERROR(pipeline.Run(state, options_.instrument));
+  HTVM_RETURN_IF_ERROR(pipeline.Run(network, state, options_.instrument));
   return std::move(state.artifact);
 }
 

@@ -18,6 +18,11 @@
 
 namespace htvm::compiler {
 
+// Artifact-cache interception point (htvmc/htvm-serve --cache-dir); the
+// interface lives in compiler/pass_manager.hpp, the production
+// implementation in src/cache (content-addressed LRU + disk persistence).
+class ArtifactCacheHook;
+
 // Pass-level introspection knobs (htvmc --dump-ir / --print-pass-times;
 // consumed by the PassManager, see compiler/pass_manager.hpp).
 struct PassInstrumentation {
@@ -27,6 +32,10 @@ struct PassInstrumentation {
   // When non-empty, write post-pass IR dumps (<NN>_<pass>.txt + .dot) into
   // this directory (created if missing).
   std::string dump_ir_dir;
+  // When non-empty, restrict --dump-ir to the IR *around* the named pass:
+  // the graph entering it and the graph it produced (htvmc
+  // --dump-ir-filter; keeps dump directories small on big graphs).
+  std::string dump_ir_filter;
 };
 
 struct CompileOptions {
@@ -40,6 +49,10 @@ struct CompileOptions {
   tvmgen::SizeModelConfig size_model;
   hw::DianaConfig hw = hw::DianaConfig::Default();
   PassInstrumentation instrument;
+  // Non-owning; when set, PassManager::Run consults it before executing any
+  // pass and stores the finished artifact after FinalizeArtifact. Not part
+  // of the cache key (see cache::OptionsFingerprint).
+  ArtifactCacheHook* cache = nullptr;
 
   static CompileOptions PlainTvm() {
     CompileOptions o;

@@ -31,14 +31,16 @@ Graph DeadCodeElimination(const Graph& graph) {
   return RebuildGraph(graph, live, nullptr);
 }
 
-Graph AbsorbPadding(const Graph& graph) {
+Graph AbsorbPadding(const Graph& graph, i64* rewrites) {
   const std::vector<i32> uses = graph.UseCounts();
+  i64 absorbed = 0;
   Graph out = ir::MapGraph(graph, [&](ir::GraphMapper& m,
                                       const Node& n) -> NodeId {
     if (n.IsOp("nn.conv2d")) {
       const Node& producer = graph.node(n.inputs[0]);
       if (producer.IsOp("nn.pad") &&
           uses[static_cast<size_t>(producer.id)] == 1) {
+        ++absorbed;
         // Merge the explicit pad into the conv's padding attribute.
         const auto pw = producer.attrs.GetIntVec("pad_width", {0, 0, 0, 0});
         auto pad = n.attrs.GetIntVec("padding", {0, 0, 0, 0});
@@ -53,10 +55,12 @@ Graph AbsorbPadding(const Graph& graph) {
     }
     return m.Clone(n);
   });
+  if (rewrites != nullptr) *rewrites = absorbed;
   return DeadCodeElimination(out);
 }
 
-Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval) {
+Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval,
+                   i64* rewrites) {
   i64 folded = 0;
   Graph out = ir::MapGraph(graph, [&](ir::GraphMapper& m,
                                       const Node& n) -> NodeId {
@@ -84,6 +88,7 @@ Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval) {
   if (folded > 0) {
     HTVM_DLOG << "constant folding replaced " << folded << " nodes";
   }
+  if (rewrites != nullptr) *rewrites = folded;
   return DeadCodeElimination(out);
 }
 

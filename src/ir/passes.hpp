@@ -21,14 +21,19 @@ using NodeEvaluator = std::function<Result<Tensor>(
 Graph DeadCodeElimination(const Graph& graph);
 
 // Folds op nodes with all-constant inputs into constants, then runs DCE.
-// Nodes the evaluator rejects (Unsupported) are left in place.
-Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval);
+// Nodes the evaluator rejects (Unsupported) are left in place. When
+// `rewrites` is non-null it receives the number of folded nodes — zero
+// rewrites with an unchanged node count means the graph is untouched, which
+// lets the PassManager skip post-pass re-validation and IR dumps.
+Graph ConstantFold(const Graph& graph, const NodeEvaluator& eval,
+                   i64* rewrites = nullptr);
 
 // Folds explicit nn.pad ops into the padding attribute of the conv2d that
 // consumes them (TFLite imports materialize SAME padding as separate PAD
 // ops; the accelerator patterns expect it on the conv). Pads with other
-// consumers or non-conv consumers stay. Runs DCE afterwards.
-Graph AbsorbPadding(const Graph& graph);
+// consumers or non-conv consumers stay. Runs DCE afterwards. `rewrites`
+// (optional) receives the number of absorbed pads, as for ConstantFold.
+Graph AbsorbPadding(const Graph& graph, i64* rewrites = nullptr);
 
 // Rebuilds `graph` keeping only nodes where keep[id] is true; consumers of
 // dropped nodes must themselves be dropped (checked). Returns the id

@@ -33,7 +33,9 @@ std::string UnescapeString(const std::string& s) {
   return out;
 }
 
-std::string EncodeAttr(const AttrValue& v) {
+}  // namespace
+
+std::string EncodeAttrValue(const AttrValue& v) {
   if (const bool* b = std::get_if<bool>(&v)) {
     return std::string("b:") + (*b ? "1" : "0");
   }
@@ -41,7 +43,10 @@ std::string EncodeAttr(const AttrValue& v) {
     return "i:" + std::to_string(*i);
   }
   if (const double* d = std::get_if<double>(&v)) {
-    return StrFormat("f:%.17g", *d);
+    // C99 hex-float: every finite double round-trips bit-exactly through
+    // strtod, and the rendering has one canonical form per value (no
+    // shortest-decimal ambiguity across libc implementations).
+    return StrFormat("f:%a", *d);
   }
   if (const std::string* s = std::get_if<std::string>(&v)) {
     return "s:" + EscapeString(*s);
@@ -52,7 +57,7 @@ std::string EncodeAttr(const AttrValue& v) {
   return out;
 }
 
-Result<AttrValue> DecodeAttr(const std::string& token) {
+Result<AttrValue> DecodeAttrValue(const std::string& token) {
   if (token.size() < 2 || token[1] != ':') {
     return Status::InvalidArgument("bad attr token: " + token);
   }
@@ -82,8 +87,6 @@ Result<AttrValue> DecodeAttr(const std::string& token) {
       return Status::InvalidArgument("unknown attr tag: " + token);
   }
 }
-
-}  // namespace
 
 namespace detail_serialize {
 Result<Graph> DeserializeGraphImpl(const std::string& text);
@@ -121,7 +124,7 @@ std::string SerializeGraph(const Graph& graph) {
         for (NodeId in : n.inputs) out += " " + std::to_string(in);
         out += " " + std::to_string(n.attrs.values().size());
         for (const auto& [k, v] : n.attrs.values()) {
-          out += " " + k + " " + EncodeAttr(v);
+          out += " " + k + " " + EncodeAttrValue(v);
         }
         out += "\n";
         break;
@@ -234,7 +237,7 @@ Result<Graph> DeserializeGraphImpl(const std::string& text) {
         std::string key, token;
         ls >> key >> token;
         if (!ls) return Status::InvalidArgument("truncated attrs");
-        HTVM_ASSIGN_OR_RETURN(value, DecodeAttr(token));
+        HTVM_ASSIGN_OR_RETURN(value, DecodeAttrValue(token));
         attrs.Set(key, std::move(value));
       }
       auto id = g.TryAddOp(op, std::move(inputs), std::move(attrs));

@@ -1,0 +1,256 @@
+#include "ir/structural_hash.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "support/string_utils.hpp"
+
+namespace htvm::ir {
+namespace {
+
+// splitmix64 finalizer — full-avalanche mixing of one 64-bit word.
+u64 Mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr u64 kLaneHiSeed = 0x8f14e45fceea167aull;
+constexpr u64 kLaneLoSeed = 0x243f6a8885a308d3ull;
+constexpr u64 kGolden = 0x9e3779b97f4a7c15ull;
+
+// Explicit little-endian load: identical value on every host, and on LE
+// machines it compiles to a plain 8-byte move (the byte-at-a-time packing
+// loop costs ~3 cycles/byte, which dominates hashing of weight tensors).
+u64 LoadLe64(const u8* p) {
+  u64 w = 0;
+  std::memcpy(&w, p, sizeof(w));
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  w = __builtin_bswap64(w);
+#endif
+  return w;
+}
+
+// Per-node-kind domain tags keep e.g. an op named "x" and an input named
+// "x" from colliding.
+constexpr u64 kTagInput = 1;
+constexpr u64 kTagConstant = 2;
+constexpr u64 kTagOp = 3;
+constexpr u64 kTagComposite = 4;
+
+}  // namespace
+
+std::string Hash128::ToHex() const {
+  return StrFormat("%016llx%016llx", static_cast<unsigned long long>(hi),
+                   static_cast<unsigned long long>(lo));
+}
+
+Hasher::Hasher(u64 seed)
+    : hi_(Mix64(kLaneHiSeed ^ seed)), lo_(Mix64(kLaneLoSeed + seed)) {}
+
+Hasher& Hasher::Add(u64 value) {
+  hi_ = Mix64(hi_ ^ (value * kGolden));
+  lo_ = Mix64(lo_ + value + kGolden);
+  return *this;
+}
+
+Hasher& Hasher::AddDouble(double value) {
+  static_assert(sizeof(double) == sizeof(u64));
+  u64 bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Add(bits);
+}
+
+Hasher& Hasher::AddString(std::string_view s) {
+  Add(static_cast<u64>(s.size()));
+  // Pack bytes little-endian into words explicitly; independent of host
+  // endianness and alignment.
+  u64 word = 0;
+  int n = 0;
+  for (char c : s) {
+    word |= static_cast<u64>(static_cast<u8>(c)) << (8 * n);
+    if (++n == 8) {
+      Add(word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n > 0) Add(word);
+  return *this;
+}
+
+Hasher& Hasher::AddBytes(const u8* data, i64 size) {
+  Add(static_cast<u64>(size));
+  i64 i = 0;
+  if (size >= 32) {
+    // Bulk path for constant payloads: four independent multiplicative
+    // accumulators give the out-of-order core a full 32 bytes in flight
+    // per iteration (~10x the serial two-mixes-per-word stream); each
+    // accumulator is avalanched before folding back into the lanes.
+    u64 a = 0xa0761d6478bd642full, b = 0xe7037ed1a0b428dbull;
+    u64 c = 0x8ebc6af09c88c6e3ull, d = 0x589965cc75374cc3ull;
+    for (; i + 32 <= size; i += 32) {
+      a = (a ^ LoadLe64(data + i)) * 0x9e3779b97f4a7c15ull;
+      b = (b ^ LoadLe64(data + i + 8)) * 0xc2b2ae3d27d4eb4full;
+      c = (c ^ LoadLe64(data + i + 16)) * 0x165667b19e3779f9ull;
+      d = (d ^ LoadLe64(data + i + 24)) * 0x27d4eb2f165667c5ull;
+    }
+    Add(Mix64(a) ^ Mix64(c));
+    Add(Mix64(b) ^ Mix64(d));
+  }
+  u64 word = 0;
+  int n = 0;
+  for (; i < size; ++i) {
+    word |= static_cast<u64>(data[i]) << (8 * n);
+    if (++n == 8) {
+      Add(word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n > 0) Add(word);
+  return *this;
+}
+
+Hash128 Hasher::Digest() const {
+  // Cross-mix the lanes so no single lane's collision survives alone.
+  Hash128 out;
+  out.hi = Mix64(hi_ + (lo_ ^ kGolden));
+  out.lo = Mix64(lo_ ^ (hi_ * kGolden));
+  return out;
+}
+
+void HashAttrValue(Hasher& h, const AttrValue& value) {
+  if (const bool* b = std::get_if<bool>(&value)) {
+    h.Add(u64{10}).Add(*b);
+  } else if (const i64* i = std::get_if<i64>(&value)) {
+    h.Add(u64{11}).Add(*i);
+  } else if (const double* d = std::get_if<double>(&value)) {
+    h.Add(u64{12}).AddDouble(*d);
+  } else if (const std::string* s = std::get_if<std::string>(&value)) {
+    h.Add(u64{13}).AddString(*s);
+  } else {
+    const auto& vec = std::get<std::vector<i64>>(value);
+    h.Add(u64{14}).Add(static_cast<u64>(vec.size()));
+    for (i64 x : vec) h.Add(x);
+  }
+}
+
+void HashAttrMap(Hasher& h, const AttrMap& attrs) {
+  // AttrMap is a std::map, so iteration order is already canonical; the
+  // order attributes were Set() in never reaches the hash.
+  h.Add(static_cast<u64>(attrs.values().size()));
+  for (const auto& [key, value] : attrs.values()) {
+    h.AddString(key);
+    HashAttrValue(h, value);
+  }
+}
+
+void HashTensor(Hasher& h, const Tensor& t) {
+  h.Add(static_cast<u64>(t.dtype()));
+  h.Add(t.shape().rank());
+  for (i64 d : t.shape().dims()) h.Add(d);
+  h.AddBytes(t.raw(), t.SizeBytes());
+}
+
+namespace {
+
+void HashType(Hasher& h, const TensorType& type) {
+  h.Add(static_cast<u64>(type.dtype));
+  h.Add(type.shape.rank());
+  for (i64 d : type.shape.dims()) h.Add(d);
+}
+
+// Canonical renumbering: iterative post-order DFS from the outputs (in
+// output order), then from the graph inputs (in input order). Nodes get
+// their canonical id at first visit completion; unreachable nodes get none.
+std::vector<i32> CanonicalIds(const Graph& graph, i64* num_reachable) {
+  std::vector<i32> canon(static_cast<size_t>(graph.NumNodes()), -1);
+  i32 next = 0;
+  std::vector<std::pair<NodeId, size_t>> stack;  // (node, next input index)
+  auto visit = [&](NodeId root) {
+    if (canon[static_cast<size_t>(root)] >= 0) return;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [id, child] = stack.back();
+      const Node& n = graph.node(id);
+      if (child < n.inputs.size()) {
+        const NodeId in = n.inputs[child++];
+        if (canon[static_cast<size_t>(in)] < 0) stack.emplace_back(in, 0);
+      } else {
+        if (canon[static_cast<size_t>(id)] < 0) {
+          canon[static_cast<size_t>(id)] = next++;
+        }
+        stack.pop_back();
+      }
+    }
+  };
+  for (NodeId id : graph.outputs()) visit(id);
+  for (NodeId id : graph.inputs()) visit(id);
+  *num_reachable = next;
+  return canon;
+}
+
+}  // namespace
+
+Hash128 StructuralHash(const Graph& graph) {
+  i64 num_reachable = 0;
+  const std::vector<i32> canon = CanonicalIds(graph, &num_reachable);
+
+  // Per-node digests in original id order (inputs always precede their
+  // consumers, so every input's digest exists when needed).
+  std::vector<Hash128> digest(static_cast<size_t>(graph.NumNodes()));
+  for (const Node& n : graph.nodes()) {
+    const size_t idx = static_cast<size_t>(n.id);
+    if (canon[idx] < 0) continue;  // unreachable: not part of the key
+    Hasher h;
+    switch (n.kind) {
+      case NodeKind::kInput:
+        h.Add(kTagInput);
+        break;
+      case NodeKind::kConstant:
+        h.Add(kTagConstant);
+        HashTensor(h, n.value);
+        break;
+      case NodeKind::kOp:
+        h.Add(kTagOp);
+        break;
+      case NodeKind::kComposite:
+        h.Add(kTagComposite);
+        h.AddHash(StructuralHash(*n.body));
+        break;
+    }
+    h.AddString(n.op);
+    // Node labels are part of the key: emitted C symbols derive from them,
+    // and the cache must only ever serve byte-identical artifacts.
+    h.AddString(n.name);
+    HashType(h, n.type);
+    HashAttrMap(h, n.attrs);
+    h.Add(static_cast<u64>(n.inputs.size()));
+    for (NodeId in : n.inputs) {
+      h.Add(static_cast<i64>(canon[static_cast<size_t>(in)]));
+      h.AddHash(digest[static_cast<size_t>(in)]);
+    }
+    digest[idx] = h.Digest();
+  }
+
+  Hasher g(/*seed=*/0x6772617068ull);  // "graph"
+  g.Add(num_reachable);
+  g.Add(static_cast<u64>(graph.inputs().size()));
+  for (NodeId id : graph.inputs()) {
+    g.Add(static_cast<i64>(canon[static_cast<size_t>(id)]));
+    g.AddHash(digest[static_cast<size_t>(id)]);
+  }
+  g.Add(static_cast<u64>(graph.outputs().size()));
+  for (NodeId id : graph.outputs()) {
+    g.Add(static_cast<i64>(canon[static_cast<size_t>(id)]));
+    g.AddHash(digest[static_cast<size_t>(id)]);
+  }
+  return g.Digest();
+}
+
+}  // namespace htvm::ir

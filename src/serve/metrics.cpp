@@ -38,6 +38,22 @@ std::string ServingMetrics::ToJson() const {
                    "\"mean_depth\": %.3f},\n",
                    static_cast<long long>(queue_capacity),
                    static_cast<long long>(max_queue_depth), mean_queue_depth);
+  out += StrFormat("  \"cache\": {\"enabled\": %s, \"hits\": %lld, "
+                   "\"misses\": %lld, \"evictions\": %lld, "
+                   "\"disk_hits\": %lld, \"disk_writes\": %lld, "
+                   "\"compiles\": %lld, \"entries\": %lld, \"bytes\": %lld, "
+                   "\"miss_cost_ns\": %lld, \"saved_ns\": %lld},\n",
+                   cache.enabled ? "true" : "false",
+                   static_cast<long long>(cache.hits),
+                   static_cast<long long>(cache.misses),
+                   static_cast<long long>(cache.evictions),
+                   static_cast<long long>(cache.disk_hits),
+                   static_cast<long long>(cache.disk_writes),
+                   static_cast<long long>(cache.compiles),
+                   static_cast<long long>(cache.entries),
+                   static_cast<long long>(cache.bytes),
+                   static_cast<long long>(cache.miss_cost_ns),
+                   static_cast<long long>(cache.saved_ns));
   out += "  \"socs\": [\n";
   for (size_t i = 0; i < socs.size(); ++i) {
     const SocStats& s = socs[i];

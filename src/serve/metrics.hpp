@@ -24,6 +24,25 @@ struct SocStats {
   i64 failures = 0;          // failed attempts absorbed by this SoC
 };
 
+// Compile-cache counters for the serving fleet (plain values so metrics
+// stays decoupled from src/cache; the server copies them out of the
+// process-wide ArtifactCache at Drain). `enabled` is false when every model
+// was registered from a pre-compiled artifact, i.e. no registration went
+// through the cache.
+struct CompileCacheStats {
+  bool enabled = false;
+  i64 hits = 0;
+  i64 misses = 0;
+  i64 evictions = 0;
+  i64 disk_hits = 0;
+  i64 disk_writes = 0;
+  i64 compiles = 0;
+  i64 entries = 0;
+  i64 bytes = 0;
+  i64 miss_cost_ns = 0;  // pass-pipeline time paid on cold compiles
+  i64 saved_ns = 0;      // pass-pipeline time avoided by hits
+};
+
 struct ServingMetrics {
   // Request accounting. offered = admitted + rejected; served counts
   // requests actually executed by the worker pool (== admitted when the
@@ -64,6 +83,9 @@ struct ServingMetrics {
   i64 queue_capacity = 0;
   i64 max_queue_depth = 0;
   double mean_queue_depth = 0;
+
+  // Fleet-wide compile cache (zeros with enabled=false when unused).
+  CompileCacheStats cache;
 
   std::vector<SocStats> socs;
 

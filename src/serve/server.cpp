@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/artifact_cache.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
@@ -83,6 +84,21 @@ Result<int> InferenceServer::RegisterModel(
 
   models_.push_back(std::move(entry));
   return static_cast<int>(models_.size()) - 1;
+}
+
+Result<int> InferenceServer::RegisterModel(
+    std::string name, const Graph& network,
+    const compiler::CompileOptions& compile_options, u64 input_seed) {
+  compiler::CompileOptions options = compile_options;
+  options.cache = &cache::GlobalArtifactCache();
+  compiler::HtvmCompiler compiler(options);
+  auto artifact = compiler.Compile(network);
+  if (!artifact.ok()) return artifact.status();
+  used_compile_cache_ = true;
+  return RegisterModel(
+      std::move(name),
+      std::make_shared<const compiler::Artifact>(std::move(*artifact)),
+      input_seed);
 }
 
 void InferenceServer::Start() {
@@ -180,6 +196,21 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
   m.queue_capacity = options_.queue_capacity;
   m.max_queue_depth = scheduler_.max_queue_depth();
   m.mean_queue_depth = scheduler_.MeanQueueDepth();
+
+  if (used_compile_cache_) {
+    const cache::CacheStats cs = cache::GlobalArtifactCache().stats();
+    m.cache.enabled = true;
+    m.cache.hits = cs.hits;
+    m.cache.misses = cs.misses;
+    m.cache.evictions = cs.evictions;
+    m.cache.disk_hits = cs.disk_hits;
+    m.cache.disk_writes = cs.disk_writes;
+    m.cache.compiles = cs.compiles;
+    m.cache.entries = cs.entries;
+    m.cache.bytes = cs.bytes;
+    m.cache.miss_cost_ns = cs.miss_cost_ns;
+    m.cache.saved_ns = cs.saved_ns;
+  }
 
   const double makespan_us = scheduler_.makespan_us();
   const auto& busy = scheduler_.soc_busy_us();

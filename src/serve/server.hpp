@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "compiler/artifact.hpp"
+#include "compiler/pipeline.hpp"
 #include "hw/fault.hpp"
 #include "runtime/executor.hpp"
 #include "serve/metrics.hpp"
@@ -72,6 +73,16 @@ class InferenceServer {
   // captures the expected outputs. Returns the model handle for Submit.
   Result<int> RegisterModel(std::string name,
                             std::shared_ptr<const compiler::Artifact> artifact,
+                            u64 input_seed = 0x5EEDull);
+
+  // Compiles `network` with `compile_options` through the process-wide
+  // ArtifactCache (cache::GlobalArtifactCache) and registers the result: N
+  // workers serving the same model compile once, and a persisted cache
+  // (--cache-dir) makes a restarted fleet compile nothing. The cache's
+  // hit/miss/evict counters and saved compile time land in
+  // ServingMetrics::cache at Drain.
+  Result<int> RegisterModel(std::string name, const Graph& network,
+                            const compiler::CompileOptions& compile_options,
                             u64 input_seed = 0x5EEDull);
 
   // Spawns the worker pool. Must be called exactly once, after all models.
@@ -135,6 +146,9 @@ class InferenceServer {
   std::atomic<i64> fault_hits_{0};  // injected faults surfaced by Run
   bool started_ = false;
   bool drained_ = false;
+  // Set when any model was registered through the compile cache; gates the
+  // ServingMetrics::cache block.
+  bool used_compile_cache_ = false;
 };
 
 }  // namespace htvm::serve

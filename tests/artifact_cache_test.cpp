@@ -1,0 +1,290 @@
+// cache::ArtifactCache + SaveArtifact/LoadArtifact round-trip tests.
+//
+// Covers the tentpole guarantees of docs/artifact_cache.md: the text
+// serialization round-trips byte-identically for every example model, the
+// LRU respects its byte budget with correct recency order, on-disk
+// persistence survives a process restart (modeled as a fresh cache on the
+// same dir), corrupted files degrade to a miss, and concurrent compiles
+// through one cache are safe and compile-once.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+#include "cache/artifact_serialize.hpp"
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm {
+namespace {
+
+namespace fs = std::filesystem;
+
+compiler::Artifact CompileOrDie(const Graph& net,
+                                const compiler::CompileOptions& opt = {}) {
+  auto artifact = compiler::HtvmCompiler{opt}.Compile(net);
+  HTVM_CHECK(artifact.ok());
+  return std::move(*artifact);
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(ArtifactSerialize, RoundTripsAllExampleModels) {
+  // Every model x a heterogeneous and a digital-only config: serialize,
+  // parse back, re-serialize — the two texts must be byte-identical and
+  // the parsed kernel graph must validate (LoadArtifact enforces this).
+  for (const auto& m : models::MlperfTinySuite()) {
+    for (const auto& [cfg, opt] :
+         {std::pair<const char*, compiler::CompileOptions>{
+              "mixed", compiler::CompileOptions{}},
+          {"digital", compiler::CompileOptions::DigitalOnly()}}) {
+      const Graph net = m.build(models::PrecisionPolicy::kMixed);
+      const compiler::Artifact artifact = CompileOrDie(net, opt);
+      const std::string text = cache::SerializeArtifact(artifact);
+      auto parsed = cache::DeserializeArtifact(text);
+      ASSERT_TRUE(parsed.ok())
+          << m.name << "/" << cfg << ": " << parsed.status().ToString();
+      EXPECT_EQ(cache::SerializeArtifact(*parsed), text)
+          << m.name << "/" << cfg;
+    }
+  }
+}
+
+TEST(ArtifactSerialize, SaveAndLoadFile) {
+  const std::string dir = FreshDir("/artifact_save_load");
+  const compiler::Artifact artifact = CompileOrDie(
+      models::BuildDsCnn(models::PrecisionPolicy::kInt8),
+      compiler::CompileOptions::DigitalOnly());
+  const std::string path = dir + "/a.htvmart";
+  ASSERT_TRUE(cache::SaveArtifact(artifact, path).ok());
+  auto loaded = cache::LoadArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(cache::SerializeArtifact(*loaded),
+            cache::SerializeArtifact(artifact));
+}
+
+TEST(ArtifactSerialize, RejectsGarbageAndTruncation) {
+  EXPECT_FALSE(cache::DeserializeArtifact("not an artifact").ok());
+  const compiler::Artifact artifact = CompileOrDie(
+      models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8));
+  const std::string text = cache::SerializeArtifact(artifact);
+  // Truncation anywhere (drop the `end` terminator and then some) fails
+  // cleanly instead of crashing or returning a half-parsed artifact.
+  EXPECT_FALSE(cache::DeserializeArtifact(
+                   text.substr(0, text.size() / 2)).ok());
+  EXPECT_FALSE(cache::DeserializeArtifact(
+                   text.substr(0, text.rfind("end"))).ok());
+}
+
+TEST(ArtifactCache, HitReturnsStoredArtifactAndCountsStats) {
+  cache::ArtifactCache cache;
+  const Graph net = models::BuildResNet8(models::PrecisionPolicy::kMixed);
+  compiler::CompileOptions opt;
+  opt.cache = &cache;
+
+  auto first = compiler::HtvmCompiler{opt}.Compile(net);
+  ASSERT_TRUE(first.ok());
+  auto second = compiler::HtvmCompiler{opt}.Compile(net);
+  ASSERT_TRUE(second.ok());
+
+  const cache::CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.compiles, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_GT(s.bytes, 0);
+  EXPECT_GT(s.miss_cost_ns, 0);
+  EXPECT_GT(s.saved_ns, 0);
+  // The hit is the stored artifact, not a re-compile: identical kernels,
+  // identical memory plan, identical pass timeline (timings included).
+  EXPECT_EQ(cache::SerializeArtifact(*second),
+            cache::SerializeArtifact(*first));
+}
+
+TEST(ArtifactCache, DifferentOptionsMissEachOther) {
+  cache::ArtifactCache cache;
+  const Graph net = models::BuildDsCnn(models::PrecisionPolicy::kInt8);
+  compiler::CompileOptions mixed;
+  mixed.cache = &cache;
+  compiler::CompileOptions digital = compiler::CompileOptions::DigitalOnly();
+  digital.cache = &cache;
+  ASSERT_TRUE(compiler::HtvmCompiler{mixed}.Compile(net).ok());
+  ASSERT_TRUE(compiler::HtvmCompiler{digital}.Compile(net).ok());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(ArtifactCache, LruEvictsPastBudgetInRecencyOrder) {
+  cache::ArtifactCache cache;
+  const Graph resnet = models::BuildResNet8(models::PrecisionPolicy::kMixed);
+  const Graph dscnn = models::BuildDsCnn(models::PrecisionPolicy::kInt8);
+  const Graph dae = models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8);
+
+  compiler::CompileOptions opt;
+  opt.cache = &cache;
+  const std::string k_resnet = cache.Key(resnet, opt);
+  const std::string k_dscnn = cache.Key(dscnn, opt);
+  const std::string k_dae = cache.Key(dae, opt);
+
+  // Measure per-entry resident sizes with an unbounded cache, then set the
+  // budget to hold exactly resnet + dae so adding dae must evict one entry
+  // — and recency decides which.
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(resnet).ok());
+  const i64 resnet_bytes = cache.stats().bytes;
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(dscnn).ok());
+  const i64 dscnn_bytes = cache.stats().bytes - resnet_bytes;
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(dae).ok());
+  const i64 dae_bytes = cache.stats().bytes - resnet_bytes - dscnn_bytes;
+  ASSERT_GT(dae_bytes, dscnn_bytes);  // budget below holds dae only w/o dscnn
+
+  cache::ArtifactCacheOptions small;
+  small.max_bytes = resnet_bytes + dae_bytes;
+  // Reset(options) clears the cache; re-fill under the tight budget.
+  cache.Reset(small);
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(resnet).ok());
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(dscnn).ok());
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_NE(cache.Lookup(k_resnet), nullptr);  // resnet now most-recent
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(dae).ok());
+
+  const cache::CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_LE(s.bytes, small.max_bytes);
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_NE(cache.Lookup(k_dae), nullptr);     // newest survives
+  EXPECT_NE(cache.Lookup(k_resnet), nullptr);  // recently-touched survives
+  EXPECT_EQ(cache.Lookup(k_dscnn), nullptr);   // LRU victim
+}
+
+TEST(ArtifactCache, SingleOversizedEntryIsKept) {
+  cache::ArtifactCacheOptions tiny;
+  tiny.max_bytes = 1;  // below any artifact's footprint
+  cache::ArtifactCache cache(tiny);
+  const Graph net = models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8);
+  compiler::CompileOptions opt;
+  opt.cache = &cache;
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(net).ok());
+  // Kept alone rather than thrashing: the next compile still hits.
+  ASSERT_TRUE(compiler::HtvmCompiler{opt}.Compile(net).ok());
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ArtifactCache, DiskPersistenceServesAFreshCache) {
+  const std::string dir = FreshDir("/artifact_cache_disk");
+  const Graph net = models::BuildDsCnn(models::PrecisionPolicy::kInt8);
+
+  cache::ArtifactCacheOptions disk;
+  disk.dir = dir;
+  compiler::Artifact cold;
+  {
+    cache::ArtifactCache writer(disk);
+    compiler::CompileOptions opt;
+    opt.cache = &writer;
+    cold = CompileOrDie(net, opt);
+    EXPECT_EQ(writer.stats().disk_writes, 1);
+  }
+  ASSERT_FALSE(fs::is_empty(dir));
+
+  // A fresh cache on the same dir (a restarted process) serves from disk
+  // without compiling, byte-identical to the cold artifact.
+  cache::ArtifactCache reader(disk);
+  compiler::CompileOptions opt;
+  opt.cache = &reader;
+  const compiler::Artifact warm = CompileOrDie(net, opt);
+  const cache::CacheStats s = reader.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.disk_hits, 1);
+  EXPECT_EQ(s.compiles, 0);
+  EXPECT_EQ(cache::SerializeArtifact(warm), cache::SerializeArtifact(cold));
+}
+
+TEST(ArtifactCache, CorruptedDiskEntryDegradesToMiss) {
+  const std::string dir = FreshDir("/artifact_cache_corrupt");
+  const Graph net = models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8);
+  cache::ArtifactCacheOptions disk;
+  disk.dir = dir;
+  {
+    cache::ArtifactCache writer(disk);
+    compiler::CompileOptions opt;
+    opt.cache = &writer;
+    CompileOrDie(net, opt);
+  }
+  // Clobber every persisted entry.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream(entry.path()) << "htvm-artifact v1\ncorrupted";
+  }
+  cache::ArtifactCache reader(disk);
+  compiler::CompileOptions opt;
+  opt.cache = &reader;
+  const compiler::Artifact artifact = CompileOrDie(net, opt);  // recompiles
+  EXPECT_EQ(reader.stats().hits, 0);
+  EXPECT_EQ(reader.stats().misses, 1);
+  EXPECT_EQ(reader.stats().compiles, 1);
+  EXPECT_FALSE(artifact.kernels.empty());
+}
+
+TEST(ArtifactCache, ConcurrentCompilesAreSafeAndEqual) {
+  // The fleet-startup race: N workers register the same model through one
+  // shared cache. All artifacts must be equal; at least one thread
+  // compiles, and every lookup resolves to a hit or a miss (no lost
+  // updates, no crashes under TSan/ASan).
+  cache::ArtifactCache cache;
+  const Graph net = models::BuildDsCnn(models::PrecisionPolicy::kInt8);
+  constexpr int kThreads = 8;
+
+  // Threads racing on the initial miss each run their own pipeline, so
+  // pass wall-clock differs between their artifacts; zero it (timings are
+  // measurement, not content) before comparing.
+  const auto canonical = [](const compiler::Artifact& a) {
+    compiler::Artifact copy = a;
+    for (compiler::PassStat& p : copy.pass_timeline) p.wall_ns = 0;
+    return cache::SerializeArtifact(copy);
+  };
+
+  std::vector<std::string> serialized(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      compiler::CompileOptions opt;
+      opt.cache = &cache;
+      auto artifact = compiler::HtvmCompiler{opt}.Compile(net);
+      HTVM_CHECK(artifact.ok());
+      serialized[t] = canonical(*artifact);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const cache::CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads);
+  EXPECT_GE(s.compiles, 1);
+  EXPECT_EQ(s.entries, 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(serialized[t], serialized[0]) << "thread " << t;
+  }
+}
+
+TEST(ArtifactCache, ResetClearsEntriesAndStats) {
+  cache::ArtifactCache cache;
+  compiler::CompileOptions opt;
+  opt.cache = &cache;
+  CompileOrDie(models::BuildToyAdmosDae(models::PrecisionPolicy::kInt8),
+               opt);
+  ASSERT_EQ(cache.stats().entries, 1);
+  cache.Reset();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
+}  // namespace
+}  // namespace htvm

@@ -2,7 +2,10 @@
 // runs tests from build/tests, so the tool sits at ../tools/htvmc).
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -183,6 +186,57 @@ TEST(Cli, DumpIrWritesDeterministicDumps) {
   }
 }
 
+TEST(Cli, PrintPassTimesMarksSkippedPasses) {
+  if (!ToolExists()) GTEST_SKIP();
+  // The already-folded resnet gives AbsorbPadding and ConstantFold nothing
+  // to do; the early-exit satellite marks them in the timeline.
+  std::string out;
+  ASSERT_EQ(RunTool("--model resnet --config mixed --print-pass-times", &out),
+            0);
+  EXPECT_NE(ReadAll(out).find("skipped"), std::string::npos);
+}
+
+TEST(Cli, DumpIrFilterRestrictsToAroundPass) {
+  if (!ToolExists()) GTEST_SKIP();
+  const std::string dir = ::testing::TempDir() + "/cli_ir_filter";
+  ASSERT_EQ(RunTool("--model resnet --config mixed --dump-ir " + dir +
+                    " --dump-ir-filter PartitionGraph"),
+            0);
+  // Only the graphs around the named pass: the one entering it (the
+  // preceding stage's output — dumped even though ConstantFold itself was
+  // skipped) and the one it produced.
+  EXPECT_FALSE(ReadAll(dir + "/02_ConstantFold.txt").empty());
+  EXPECT_FALSE(ReadAll(dir + "/03_PartitionGraph.dot").empty());
+  EXPECT_TRUE(ReadAll(dir + "/00_input.txt").empty());
+  EXPECT_TRUE(ReadAll(dir + "/05_LowerToKernels.txt").empty());
+}
+
+TEST(Cli, CacheDirSecondRunHits) {
+  if (!ToolExists()) GTEST_SKIP();
+  const std::string dir = ::testing::TempDir() + "/cli_cache_dir";
+  std::filesystem::remove_all(dir);  // stale entries from a previous run
+  std::string out;
+  ASSERT_EQ(
+      RunTool("--model dscnn --config mixed --cache-dir " + dir, &out), 0);
+  const std::string first = ReadAll(out);
+  EXPECT_NE(first.find("cache: miss"), std::string::npos);
+  // A second process on the same dir loads the persisted artifact and
+  // reports the identical summary line.
+  ASSERT_EQ(
+      RunTool("--model dscnn --config mixed --cache-dir " + dir, &out), 0);
+  const std::string second = ReadAll(out);
+  EXPECT_NE(second.find("cache: hit"), std::string::npos);
+  const auto summary = [](const std::string& s) {
+    const size_t pos = s.find(" kernels | ");
+    return pos == std::string::npos
+               ? std::string()
+               : s.substr(s.rfind('\n', pos) + 1,
+                          s.find('\n', pos) - s.rfind('\n', pos));
+  };
+  EXPECT_FALSE(summary(first).empty());
+  EXPECT_EQ(summary(first), summary(second));
+}
+
 TEST(Cli, UnwritableDumpDirFailsWithMessage) {
   if (!ToolExists()) GTEST_SKIP();
   const std::string blocker = ::testing::TempDir() + "/cli_ir_blocker";
@@ -225,11 +279,28 @@ TEST(ServeCli, PrintsJsonMetricsDeterministically) {
   std::string out_a, out_b;
   ASSERT_EQ(RunServe(args, &out_a, "/serve_a.txt"), 0);
   ASSERT_EQ(RunServe(args, &out_b, "/serve_b.txt"), 0);
+  // The compile-cache block reports measured pipeline time
+  // (miss_cost_ns/saved_ns); those are wall-clock, not simulation, so they
+  // are the one legitimately nondeterministic metric — zero them before the
+  // byte comparison.
+  const auto scrub = [](std::string s) {
+    for (const char* field : {"\"miss_cost_ns\": ", "\"saved_ns\": "}) {
+      size_t pos = 0;
+      while ((pos = s.find(field, pos)) != std::string::npos) {
+        pos += std::strlen(field);
+        size_t end = pos;
+        while (end < s.size() && std::isdigit(s[end]) != 0) ++end;
+        s.replace(pos, end - pos, "0");
+      }
+    }
+    return s;
+  };
   const std::string a = ReadAll(out_a);
-  EXPECT_EQ(a, ReadAll(out_b));
+  EXPECT_EQ(scrub(a), scrub(ReadAll(out_b)));
   for (const char* key :
        {"\"throughput_rps\"", "\"p50\"", "\"p95\"", "\"p99\"",
-        "\"rejected\"", "\"utilization\"", "\"output_mismatches\": 0"}) {
+        "\"rejected\"", "\"utilization\"", "\"output_mismatches\": 0",
+        "\"cache\"", "\"compiles\": 1", "\"enabled\": true"}) {
     EXPECT_NE(a.find(key), std::string::npos) << "missing " << key;
   }
 }

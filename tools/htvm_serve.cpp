@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "cache/artifact_cache.hpp"
 #include "compiler/pipeline.hpp"
 #include "models/mlperf_tiny.hpp"
 #include "serve/server.hpp"
@@ -34,6 +35,7 @@ struct ServeCliOptions {
   int batch = 1;
   int threads = 0;  // 0 => one per SoC
   u64 seed = 7;
+  std::string cache_dir;
   bool verify = false;
   bool help = false;
   bool chaos = false;
@@ -56,6 +58,10 @@ options:
   --batch <n>                micro-batch size (1 = off)
   --threads <n>              worker threads (default: one per SoC)
   --seed <n>                 trace seed (metrics are deterministic in it)
+  --cache-dir <dir>          persist compiled artifacts to a content-
+                             addressed cache; a restarted fleet serving the
+                             same models compiles nothing ("compiles": 0 in
+                             the metrics JSON)
   --verify                   check every output against the reference run
   --chaos                    inject seeded SoC faults (crashes, transient
                              DMA/accelerator errors, latency spikes); the
@@ -125,6 +131,9 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--seed") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.seed = static_cast<u64>(std::atoll(v.c_str()));
+    } else if (arg == "--cache-dir") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.cache_dir = v;
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--chaos") {
@@ -216,6 +225,13 @@ int main(int argc, char** argv) {
     server_options.chaos.plan.slow_fraction = opt.slow_frac;
   }
   serve::InferenceServer server(server_options);
+  if (!opt.cache_dir.empty()) {
+    cache::ConfigureGlobalArtifactCache({.dir = opt.cache_dir});
+  } else {
+    // Still compile through the process-wide cache: duplicate models in
+    // --model a,a and repeated registrations compile once per content.
+    cache::ConfigureGlobalArtifactCache({});
+  }
 
   for (const std::string& name : opt.models) {
     auto network = BuildModel(name, policy);
@@ -224,15 +240,7 @@ int main(int argc, char** argv) {
                    network.status().ToString().c_str());
       return 1;
     }
-    auto artifact = compiler::HtvmCompiler{options}.Compile(*network);
-    if (!artifact.ok()) {
-      std::fprintf(stderr, "htvm-serve: compiling %s failed: %s\n",
-                   name.c_str(), artifact.status().ToString().c_str());
-      return 1;
-    }
-    auto handle = server.RegisterModel(
-        name, std::make_shared<compiler::Artifact>(std::move(*artifact)),
-        opt.seed);
+    auto handle = server.RegisterModel(name, *network, options, opt.seed);
     if (!handle.ok()) {
       std::fprintf(stderr, "htvm-serve: %s\n",
                    handle.status().ToString().c_str());
@@ -240,6 +248,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "htvm-serve: %s/%s ready, service %.1f us/request\n",
                  name.c_str(), opt.config.c_str(), server.ServiceUs(*handle));
+  }
+  {
+    const cache::CacheStats cs = cache::GlobalArtifactCache().stats();
+    std::fprintf(stderr,
+                 "htvm-serve: compile cache — %lld compiles, %lld hits "
+                 "(%lld from disk), %.1f ms saved\n",
+                 static_cast<long long>(cs.compiles),
+                 static_cast<long long>(cs.hits),
+                 static_cast<long long>(cs.disk_hits),
+                 static_cast<double>(cs.saved_ns) / 1e6);
   }
 
   if (opt.chaos) {

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sys/stat.h>
 
+#include "cache/artifact_cache.hpp"
 #include "compiler/emit.hpp"
 #include "compiler/pass_manager.hpp"
 #include "compiler/pipeline.hpp"
@@ -36,6 +37,8 @@ struct CliOptions {
   std::string emit_dir;
   std::string dot_path;
   std::string dump_ir_dir;
+  std::string dump_ir_filter;
+  std::string cache_dir;
   i64 l1_kb = -1;
   bool report = false;
   bool timeline = false;
@@ -64,7 +67,12 @@ options:
   --emit-dir <dir>                            write deployable C sources
   --dump-ir <dir>                             write post-pass IR dumps
                                               (<NN>_<pass>.txt + .dot)
+  --dump-ir-filter <pass>                     restrict --dump-ir to the IR
+                                              entering and leaving <pass>
+  --cache-dir <dir>                           reuse compiled artifacts from a
+                                              content-addressed cache dir
   --print-pass-times                          per-pass compile-time breakdown
+                                              (no-change passes show skipped)
   --help                                      this text
 )");
 }
@@ -97,6 +105,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--dump-ir") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.dump_ir_dir = v;
+    } else if (arg == "--dump-ir-filter") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.dump_ir_filter = v;
+    } else if (arg == "--cache-dir") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.cache_dir = v;
     } else if (arg == "--print-pass-times") {
       opt.print_pass_times = true;
     } else if (arg == "--l1") {
@@ -172,7 +186,12 @@ int main(int argc, char** argv) {
   }
   options.dispatch.enable_tuned_cpu_library = opt.tuned_cpu;
   options.instrument.dump_ir_dir = opt.dump_ir_dir;
+  options.instrument.dump_ir_filter = opt.dump_ir_filter;
   if (opt.l1_kb > 0) options.tiler.l1_budget_bytes = opt.l1_kb * 1024;
+  if (!opt.cache_dir.empty()) {
+    cache::ConfigureGlobalArtifactCache({.dir = opt.cache_dir});
+    options.cache = &cache::GlobalArtifactCache();
+  }
 
   auto network = LoadNetwork(opt, policy);
   if (!network.ok()) {
@@ -185,6 +204,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "htvmc: compile failed: %s\n",
                  artifact.status().ToString().c_str());
     return 1;
+  }
+  if (!opt.cache_dir.empty()) {
+    const cache::CacheStats cs = cache::GlobalArtifactCache().stats();
+    std::printf("cache: %s (%s)\n",
+                cs.hits > 0 ? "hit" : "miss", opt.cache_dir.c_str());
   }
 
   std::printf("%zu kernels | %.3f ms full (%.3f ms peak) | %s | L2 %s\n",
