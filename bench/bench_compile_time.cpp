@@ -6,15 +6,26 @@
 // `--smoke` skips the benchmark loop and instead compiles each network once,
 // printing the PassManager's per-pass wall-clock / node-delta breakdown —
 // cheap enough for CI, so per-pass compile-time regressions are visible in
-// every run.
+// every run. It also recompiles every case with 8 CompileKernels lanes and
+// asserts the artifact is byte-identical to the sequential compile
+// (SerializeArtifactForDiff), so CI enforces the parallel-pass determinism
+// contract on every push.
+//
+// `--threads` sweeps CompileKernels lane counts {1, 2, 4, 8} on the
+// MobileNet-class model, reporting the stage speedup vs 1 lane, the
+// per-pass timeline deltas, and artifact byte-identity per count.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "cache/artifact_serialize.hpp"
 #include "compiler/pass_manager.hpp"
 #include "compiler/pipeline.hpp"
 #include "models/mlperf_tiny.hpp"
+#include "support/thread_pool.hpp"
 
 namespace htvm {
 namespace {
@@ -48,7 +59,10 @@ int RunSmoke() {
        compiler::CompileOptions{}},
   };
   for (const Case& c : cases) {
-    auto art = compiler::HtvmCompiler{c.opt}.Compile(c.build(c.policy));
+    const Graph net = c.build(c.policy);
+    compiler::CompileOptions seq_opt = c.opt;
+    seq_opt.compile_threads = 1;
+    auto art = compiler::HtvmCompiler{seq_opt}.Compile(net);
     if (!art.ok()) {
       std::fprintf(stderr, "compile %s failed: %s\n", c.name,
                    art.status().ToString().c_str());
@@ -56,8 +70,113 @@ int RunSmoke() {
     }
     std::printf("== compile %s ==\n%s\n", c.name,
                 compiler::PassTimelineToTable(art->pass_timeline).c_str());
+
+    // Determinism gate: 8 CompileKernels lanes must reproduce the
+    // sequential artifact byte-for-byte (wall-clock excluded).
+    compiler::CompileOptions par_opt = c.opt;
+    par_opt.compile_threads = 8;
+    auto par = compiler::HtvmCompiler{par_opt}.Compile(net);
+    if (!par.ok()) {
+      std::fprintf(stderr, "parallel compile %s failed: %s\n", c.name,
+                   par.status().ToString().c_str());
+      return 1;
+    }
+    if (cache::SerializeArtifactForDiff(*par) !=
+        cache::SerializeArtifactForDiff(*art)) {
+      std::fprintf(stderr,
+                   "parallel compile %s diverged from sequential artifact\n",
+                   c.name);
+      return 1;
+    }
+    std::printf("   parallel(8) == sequential(1): artifact identical\n\n");
   }
   return 0;
+}
+
+// `--threads`: sweep CompileKernels lane counts on the MobileNet-class
+// model and report stage + end-to-end speedup vs 1 lane. Each count is
+// measured over several repetitions (min wall time, standard practice for
+// speedup reporting) and every parallel artifact is diffed against the
+// sequential baseline.
+int RunThreadsSweep() {
+  const Graph net = models::BuildMobileNetV1(models::PrecisionPolicy::kInt8);
+  const int counts[] = {1, 2, 4, 8};
+  constexpr int kReps = 10;
+
+  struct Sample {
+    int threads = 0;
+    double total_ms = 0.0;           // best end-to-end compile, ms
+    double compile_kernels_ms = 0.0; // CompileKernels stage in that run, ms
+    bool identical = false;
+    compiler::PassTimeline timeline;
+  };
+  std::vector<Sample> samples;
+  std::string baseline_diff;
+
+  for (int threads : counts) {
+    compiler::CompileOptions opt = compiler::CompileOptions::DigitalOnly();
+    opt.compile_threads = threads;
+    Sample s;
+    s.threads = threads;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto art = compiler::HtvmCompiler{opt}.Compile(net);
+      if (!art.ok()) {
+        std::fprintf(stderr, "compile with %d threads failed: %s\n", threads,
+                     art.status().ToString().c_str());
+        return 1;
+      }
+      double total_ms = 0.0;
+      double ck_ms = 0.0;
+      for (const compiler::PassStat& p : art->pass_timeline) {
+        total_ms += static_cast<double>(p.wall_ns) / 1e6;
+        if (p.name == "CompileKernels") {
+          ck_ms = static_cast<double>(p.wall_ns) / 1e6;
+        }
+      }
+      if (rep == 0 || total_ms < s.total_ms) {
+        s.total_ms = total_ms;
+        s.compile_kernels_ms = ck_ms;
+        s.timeline = art->pass_timeline;
+      }
+      if (rep == 0) {
+        const std::string diff = cache::SerializeArtifactForDiff(*art);
+        if (threads == 1) {
+          baseline_diff = diff;
+          s.identical = true;
+        } else {
+          s.identical = (diff == baseline_diff);
+        }
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+
+  std::printf("CompileKernels thread sweep (mobilenet/digital, best of %d, "
+              "%d hardware threads)\n",
+              kReps, ThreadPool::HardwareThreads());
+  std::printf("%8s %14s %12s %12s %12s %10s\n", "threads", "kernels[ms]",
+              "speedup", "total[ms]", "speedup", "artifact");
+  const Sample& base = samples.front();
+  bool all_identical = true;
+  for (const Sample& s : samples) {
+    all_identical = all_identical && s.identical;
+    std::printf("%8d %14.3f %11.2fx %12.3f %11.2fx %10s\n", s.threads,
+                s.compile_kernels_ms,
+                base.compile_kernels_ms / std::max(s.compile_kernels_ms, 1e-9),
+                s.total_ms, base.total_ms / std::max(s.total_ms, 1e-9),
+                s.identical ? "identical" : "DIVERGED");
+  }
+  std::printf("\nPer-pass timeline at %d threads (vs 1 thread):\n",
+              samples.back().threads);
+  for (size_t i = 0; i < samples.back().timeline.size(); ++i) {
+    const compiler::PassStat& par = samples.back().timeline[i];
+    const compiler::PassStat& seq = base.timeline[i];
+    std::printf("  %-22s %10.3f ms -> %10.3f ms (%+.3f ms)\n",
+                par.name.c_str(), static_cast<double>(seq.wall_ns) / 1e6,
+                static_cast<double>(par.wall_ns) / 1e6,
+                static_cast<double>(par.wall_ns - seq.wall_ns) / 1e6);
+  }
+  return all_identical ? 0 : 1;
 }
 
 }  // namespace
@@ -68,6 +187,7 @@ int main(int argc, char** argv) {
   using models::PrecisionPolicy;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+    if (std::strcmp(argv[i], "--threads") == 0) return RunThreadsSweep();
   }
   const auto digital = compiler::CompileOptions::DigitalOnly();
   const auto both = compiler::CompileOptions{};

@@ -479,6 +479,12 @@ std::string SerializeArtifact(const compiler::Artifact& a) {
   return out;
 }
 
+std::string SerializeArtifactForDiff(const compiler::Artifact& artifact) {
+  compiler::Artifact scrubbed = artifact;
+  for (compiler::PassStat& p : scrubbed.pass_timeline) p.wall_ns = 0;
+  return SerializeArtifact(scrubbed);
+}
+
 namespace {
 
 Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {

@@ -25,6 +25,15 @@ namespace htvm::cache {
 
 std::string SerializeArtifact(const compiler::Artifact& artifact);
 
+// SerializeArtifact with the one nondeterministic field — each pass-timeline
+// entry's wall-clock nanoseconds — zeroed. Two compiles of the same
+// (network, options) produce identical text regardless of thread count or
+// machine load, so differential tests (parallel vs sequential CompileKernels,
+// cache hit vs cold compile) compare this form: kernel names, order,
+// schedules, memory plan, size report and the timeline's pass/node-delta
+// shape are all still covered byte-for-byte.
+std::string SerializeArtifactForDiff(const compiler::Artifact& artifact);
+
 Result<compiler::Artifact> DeserializeArtifact(const std::string& text);
 
 // Convenience file I/O (SaveArtifact writes atomically: tmp file + rename).

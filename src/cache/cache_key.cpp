@@ -91,8 +91,11 @@ ir::Hash128 OptionsFingerprint(const compiler::CompileOptions& options) {
   HashTilerOptions(h, options.tiler);
   HashSizeModel(h, options.size_model);
   HashHwConfig(h, options.hw);
-  // options.instrument and options.cache are intentionally absent: IR
-  // dumping, validation and the cache wiring never change the artifact.
+  // options.instrument, options.cache and options.compile_threads are
+  // intentionally absent: IR dumping, validation, the cache wiring and the
+  // CompileKernels lane count never change the artifact (the last is the
+  // determinism contract tests/parallel_compile_test.cpp enforces), so a
+  // compile at any thread count may serve a lookup from any other.
   return h.Digest();
 }
 

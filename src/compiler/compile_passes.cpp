@@ -6,6 +6,7 @@
 #include "nn/interpreter.hpp"
 #include "support/logging.hpp"
 #include "support/string_utils.hpp"
+#include "support/thread_pool.hpp"
 #include "tvmgen/cost_model.hpp"
 #include "tvmgen/fusion.hpp"
 
@@ -85,6 +86,15 @@ class LowerToKernelsPass final : public Pass {
 
 // Per-kernel compilation: DORY tiling schedules for accelerator
 // composites, the cost/size models for CPU composites.
+//
+// Each composite's schedule is independent, so the per-kernel loop is
+// sharded over the shared thread pool (options.compile_threads lanes).
+// Determinism contract (locked down by tests/parallel_compile_test.cpp):
+// the composite list is snapshotted and kernel indices/names assigned by
+// node order *before* dispatch, every lane writes only its own slot, and
+// the slots are spliced back in node order — so the artifact is
+// byte-identical to the sequential pass, and ParallelFor's
+// first-error-wins makes a failing compile report the same error too.
 class CompileKernelsPass final : public Pass {
  public:
   std::string_view name() const override { return "CompileKernels"; }
@@ -92,32 +102,39 @@ class CompileKernelsPass final : public Pass {
   Status Run(CompileState& state) const override {
     Artifact& artifact = state.artifact;
     const CompileOptions& options = state.options;
-    i64 code_bytes = 0;
-    i64 weight_bytes = 0;
-    i64 kernel_index = 0;
+    std::vector<NodeId> composites;
     for (const Node& n : state.graph.nodes()) {
-      if (n.kind != NodeKind::kComposite) continue;
-      const std::string target = n.attrs.GetString("target", "cpu");
-      CompiledKernel kernel;
-      kernel.node = n.id;
-      kernel.name = StrFormat("%s#%lld", n.op.c_str(),
-                              static_cast<long long>(kernel_index++));
-      kernel.target = target;
+      if (n.kind == NodeKind::kComposite) composites.push_back(n.id);
+    }
+    const i64 count = static_cast<i64>(composites.size());
+    std::vector<CompiledKernel> kernels(composites.size());
+    for (i64 i = 0; i < count; ++i) {
+      const Node& n = state.graph.node(composites[i]);
+      kernels[i].node = n.id;
+      kernels[i].name =
+          StrFormat("%s#%lld", n.op.c_str(), static_cast<long long>(i));
+      kernels[i].target = n.attrs.GetString("target", "cpu");
+    }
 
-      if (target == "cpu") {
+    // One lane: compiles composite i into its pre-named slot. Reads only
+    // the shared graph and options (both const for the whole pass).
+    const auto compile_one = [&](i64 i) -> Status {
+      const Node& n = state.graph.node(composites[static_cast<size_t>(i)]);
+      CompiledKernel& kernel = kernels[static_cast<size_t>(i)];
+      if (kernel.target == "cpu") {
         kernel.perf = tvmgen::CpuCompositePerf(options.hw, n, kernel.name);
         kernel.code_bytes = tvmgen::CpuKernelCodeBytes(options.size_model, n);
         kernel.weight_bytes = tvmgen::CpuKernelWeightBytes(n);
       } else {
         const dory::AccelTarget accel_target =
-            target == "analog" ? dory::AccelTarget::kAnalog
-                               : dory::AccelTarget::kDigital;
+            kernel.target == "analog" ? dory::AccelTarget::kAnalog
+                                      : dory::AccelTarget::kDigital;
         HTVM_ASSIGN_OR_RETURN(spec, dory::AnalyzeCompositeBody(*n.body));
         HTVM_ASSIGN_OR_RETURN(
             sched, dory::BuildSchedule(spec, options.hw, accel_target,
                                        options.tiler));
         kernel.perf.name = kernel.name;
-        kernel.perf.target = target;
+        kernel.perf.target = kernel.target;
         kernel.perf.macs = sched.macs;
         kernel.perf.compute_cycles = sched.compute_cycles;
         kernel.perf.weight_dma_cycles = sched.weight_dma_cycles;
@@ -132,6 +149,24 @@ class CompileKernelsPass final : public Pass {
             dory::DeployedWeightBytes(spec, options.hw, accel_target);
         kernel.schedule = std::move(sched);
       }
+      return Status::Ok();
+    };
+
+    const i64 lanes = options.compile_threads > 0
+                          ? options.compile_threads
+                          : ThreadPool::HardwareThreads();
+    if (lanes <= 1 || count <= 1) {
+      for (i64 i = 0; i < count; ++i) {
+        HTVM_RETURN_IF_ERROR(compile_one(i));
+      }
+    } else {
+      HTVM_RETURN_IF_ERROR(
+          ParallelFor(SharedCompilePool(), count, lanes, compile_one));
+    }
+
+    i64 code_bytes = 0;
+    i64 weight_bytes = 0;
+    for (CompiledKernel& kernel : kernels) {
       code_bytes += kernel.code_bytes;
       weight_bytes += kernel.weight_bytes;
       artifact.kernels.push_back(std::move(kernel));

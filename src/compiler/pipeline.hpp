@@ -48,6 +48,13 @@ struct CompileOptions {
   dory::TilerOptions tiler;
   tvmgen::SizeModelConfig size_model;
   hw::DianaConfig hw = hw::DianaConfig::Default();
+  // CompileKernels sharding (docs/compiler_passes.md "Parallel
+  // CompileKernels"): concurrent per-kernel compile lanes on the shared
+  // pool. 0 = hardware concurrency, 1 = the exact sequential path. Kernel
+  // order and names are fixed before dispatch, so the artifact is
+  // byte-identical for every value — which is why this knob is absent from
+  // cache::OptionsFingerprint.
+  int compile_threads = 0;
   PassInstrumentation instrument;
   // Non-owning; when set, PassManager::Run consults it before executing any
   // pass and stores the finished artifact after FinalizeArtifact. Not part

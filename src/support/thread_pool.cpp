@@ -1,0 +1,115 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+
+namespace htvm {
+
+ThreadPool::ThreadPool(int threads, size_t queue_capacity)
+    : queue_(queue_capacity > 0
+                 ? queue_capacity
+                 : static_cast<size_t>(std::max(threads, 1)) * 4 + 16) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  return queue_.TryPush(std::move(task));
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& SharedCompilePool() {
+  // Magic-static: thread-safe lazy init; joined on process exit after every
+  // compile has drained.
+  static ThreadPool pool(ThreadPool::HardwareThreads());
+  return pool;
+}
+
+Status ParallelFor(ThreadPool& pool, i64 n, i64 max_parallel,
+                   const std::function<Status(i64)>& fn) {
+  if (n <= 0) return Status::Ok();
+
+  struct Shared {
+    std::atomic<i64> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable done;
+    i64 active = 0;
+    i64 first_error_index = std::numeric_limits<i64>::max();
+    Status first_error;
+  } shared;
+
+  const auto lane = [&shared, &fn, n] {
+    for (;;) {
+      // Stop claiming once a failure is flagged (cancellation of the tail);
+      // the failing prefix has already been claimed, see the header proof.
+      if (shared.failed.load(std::memory_order_acquire)) break;
+      const i64 i = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      Status status = fn(i);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (i < shared.first_error_index) {
+          shared.first_error_index = i;
+          shared.first_error = std::move(status);
+        }
+        shared.failed.store(true, std::memory_order_release);
+      }
+    }
+    std::lock_guard<std::mutex> lock(shared.mu);
+    if (--shared.active == 0) shared.done.notify_all();
+  };
+
+  const i64 lanes = std::clamp<i64>(max_parallel, 1, n);
+  shared.active = 1;  // the inline lane below
+  for (i64 l = 1; l < lanes; ++l) {
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.active;
+    }
+    // Best effort: a full (or shut-down) queue only lowers parallelism —
+    // never blocks the caller, so saturation cannot deadlock.
+    if (!pool.TrySubmit(lane)) {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      --shared.active;
+      break;
+    }
+  }
+  lane();  // inline lane: progress is independent of pool capacity
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done.wait(lock, [&shared] { return shared.active == 0; });
+  if (shared.first_error_index != std::numeric_limits<i64>::max()) {
+    return shared.first_error;
+  }
+  return Status::Ok();
+}
+
+}  // namespace htvm

@@ -1,0 +1,84 @@
+// Fixed-size worker pool over a bounded task queue, plus the deterministic
+// ParallelFor the compiler's CompileKernels sharding runs on.
+//
+// Design constraints (docs/compiler_passes.md "Parallel CompileKernels"):
+//   - workers never block on the queue while holding work, so a saturated
+//     pool always drains and ParallelFor callers can never deadlock;
+//   - ParallelFor claims indices in increasing order from an atomic cursor
+//     and records the *lowest-index* failure, which makes its error exactly
+//     the one the equivalent sequential loop would have returned (see the
+//     proof sketch at ParallelFor below) — parallelism changes wall-clock
+//     only, never results;
+//   - one lane always runs inline on the calling thread, so forward
+//     progress never depends on free pool capacity.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "support/bounded_queue.hpp"
+#include "support/status.hpp"
+
+namespace htvm {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1). `queue_capacity` bounds the
+  // pending-task queue; 0 picks a default proportional to the pool size.
+  explicit ThreadPool(int threads, size_t queue_capacity = 0);
+  ~ThreadPool();  // Shutdown() + join
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Non-blocking: false when the queue is full or the pool is shut down.
+  // Callers must have a fallback (ParallelFor runs the lane inline).
+  bool TrySubmit(std::function<void()> task);
+
+  // Blocks while the queue is full; false once Shutdown began. Every task
+  // accepted before Shutdown is drained and executed.
+  bool Submit(std::function<void()> task);
+
+  // Closes the queue and joins the workers; queued tasks finish first.
+  // Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // std::thread::hardware_concurrency() clamped to >= 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+// The process-wide pool every parallel CompileKernels invocation shares,
+// sized to hardware concurrency and created on first use. Sharing one pool
+// means concurrent compiles (e.g. serve-fleet cache misses) overlap their
+// kernel lanes instead of each spawning a private pool.
+ThreadPool& SharedCompilePool();
+
+// Runs fn(0) .. fn(n-1) with at most `max_parallel` lanes: one inline on
+// the calling thread, the rest submitted to `pool` (best effort — a full
+// queue just lowers the effective parallelism). Blocks until every started
+// lane finishes.
+//
+// Error contract (first-error-wins): the returned Status is byte-identical
+// to the one the sequential `for (i) HTVM_RETURN_IF_ERROR(fn(i))` loop
+// returns. Sketch: lanes claim indices in increasing order from one atomic
+// cursor and stop claiming once any failure is flagged, so the claimed set
+// is a prefix [0, m); every claimed index runs to completion and failures
+// record min-index-wins. The sequential first error f is minimal among all
+// failing indices; any recorded failure j satisfies j < m, and f <= j with
+// f failing means f < m too, so f was claimed, ran, and won the minimum.
+// Indices past the cancellation point are skipped, exactly like the
+// sequential loop never reaching them. fn must be deterministic per index
+// and must not touch state shared across indices.
+Status ParallelFor(ThreadPool& pool, i64 n, i64 max_parallel,
+                   const std::function<Status(i64)>& fn);
+
+}  // namespace htvm

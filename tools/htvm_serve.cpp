@@ -33,7 +33,8 @@ struct ServeCliOptions {
   int fleet = 1;
   int queue_cap = 64;
   int batch = 1;
-  int threads = 0;  // 0 => one per SoC
+  int threads = 0;           // 0 => one per SoC
+  int compile_threads = 0;   // CompileKernels lanes (0 = hw concurrency)
   u64 seed = 7;
   std::string cache_dir;
   bool verify = false;
@@ -57,6 +58,11 @@ options:
   --queue-cap <n>            admission-control queue bound
   --batch <n>                micro-batch size (1 = off)
   --threads <n>              worker threads (default: one per SoC)
+  --compile-threads <n>      CompileKernels lanes per compile on the shared
+                             pool (0 = hardware concurrency, 1 = sequential);
+                             with the process-wide artifact cache, parallel
+                             misses overlap kernel compilation instead of
+                             serializing behind one compile
   --seed <n>                 trace seed (metrics are deterministic in it)
   --cache-dir <dir>          persist compiled artifacts to a content-
                              addressed cache; a restarted fleet serving the
@@ -127,6 +133,13 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
       opt.threads = std::atoi(v.c_str());
       if (opt.threads < 0) {
         return Status::InvalidArgument("bad --threads value");
+      }
+    } else if (arg == "--compile-threads") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.compile_threads = std::atoi(v.c_str());
+      if (opt.compile_threads < 0 ||
+          (opt.compile_threads == 0 && v != "0")) {
+        return Status::InvalidArgument("bad --compile-threads value");
       }
     } else if (arg == "--seed") {
       HTVM_ASSIGN_OR_RETURN(v, value());
@@ -209,6 +222,7 @@ int main(int argc, char** argv) {
                  opt.config.c_str());
     return 2;
   }
+  options.compile_threads = opt.compile_threads;
 
   serve::ServerOptions server_options;
   server_options.fleet_size = opt.fleet;

@@ -40,6 +40,7 @@ struct CliOptions {
   std::string dump_ir_filter;
   std::string cache_dir;
   i64 l1_kb = -1;
+  int compile_threads = 0;  // 0 = hardware concurrency, 1 = sequential
   bool report = false;
   bool timeline = false;
   bool energy = false;
@@ -71,6 +72,11 @@ options:
                                               entering and leaving <pass>
   --cache-dir <dir>                           reuse compiled artifacts from a
                                               content-addressed cache dir
+  --compile-threads <n>                       CompileKernels lanes on the
+                                              shared pool (0 = hardware
+                                              concurrency, 1 = sequential;
+                                              artifacts are byte-identical
+                                              for every value)
   --print-pass-times                          per-pass compile-time breakdown
                                               (no-change passes show skipped)
   --help                                      this text
@@ -111,6 +117,13 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--cache-dir") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.cache_dir = v;
+    } else if (arg == "--compile-threads") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.compile_threads = std::atoi(v.c_str());
+      if (opt.compile_threads < 0 ||
+          (opt.compile_threads == 0 && v != "0")) {
+        return Status::InvalidArgument("bad --compile-threads value");
+      }
     } else if (arg == "--print-pass-times") {
       opt.print_pass_times = true;
     } else if (arg == "--l1") {
@@ -188,6 +201,7 @@ int main(int argc, char** argv) {
   options.instrument.dump_ir_dir = opt.dump_ir_dir;
   options.instrument.dump_ir_filter = opt.dump_ir_filter;
   if (opt.l1_kb > 0) options.tiler.l1_budget_bytes = opt.l1_kb * 1024;
+  options.compile_threads = opt.compile_threads;
   if (!opt.cache_dir.empty()) {
     cache::ConfigureGlobalArtifactCache({.dir = opt.cache_dir});
     options.cache = &cache::GlobalArtifactCache();
