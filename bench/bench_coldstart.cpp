@@ -1,0 +1,100 @@
+// Cold-start ablation for the deployable artifact path (src/vm):
+// loading a compiled HAB binary vs. running the compile pipeline cold, per
+// MLPerf Tiny network. The paper's deployment story is ahead-of-time
+// compilation; this quantifies what AOT buys a fresh runner process —
+// artifact load time, first-inference latency, and the speedup over a cold
+// PassManager::Run.
+//
+//   bench_coldstart            print the sweep
+//   bench_coldstart --check    additionally assert loaded-artifact
+//                              inference is bit-exact vs. freshly compiled
+//                              (exit 1 on any mismatch)
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "runtime/executor.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace htvm {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int RunSweep(bool check) {
+  bench::PrintHeader("Cold start: HAB load vs cold compile (MLPerf Tiny)");
+  std::printf("%-10s %10s %12s %12s %10s %12s %8s\n", "network", "hab KB",
+              "compile ms", "load ms", "speedup", "1st-inf ms",
+              check ? "exact" : "");
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "htvm_bench_coldstart";
+  std::filesystem::create_directories(dir);
+  int mismatches = 0;
+  for (const auto& model : models::MlperfTinySuite()) {
+    // Cold compile (the price a compiler-linked process pays on first use).
+    const auto t_compile = std::chrono::steady_clock::now();
+    const compiler::Artifact artifact =
+        bench::Compile(model.build(models::PrecisionPolicy::kMixed), {});
+    const double compile_ms = MsSince(t_compile);
+
+    vm::HabMeta meta;
+    meta.model_name = model.name;
+    meta.producer = "bench_coldstart";
+    const std::string path = (dir / (std::string(model.name) + ".hab")).string();
+    HTVM_CHECK(vm::SaveHab(artifact, meta, path).ok());
+
+    // Warm start: map + validate + parse the deployable binary.
+    const auto t_load = std::chrono::steady_clock::now();
+    auto loaded = vm::LoadedArtifact::FromFile(path);
+    HTVM_CHECK_MSG(loaded.ok(), "HAB load failed");
+    const double load_ms = MsSince(t_load);
+    const i64 hab_bytes = loaded->file_bytes();
+
+    // First inference on the freshly loaded artifact.
+    const vm::VmExecutor executor(std::move(*loaded));
+    const std::vector<Tensor> inputs =
+        vm::SyntheticInputs(executor.artifact(), 42);
+    const auto t_infer = std::chrono::steady_clock::now();
+    auto result = executor.Run(inputs);
+    HTVM_CHECK_MSG(result.ok(), "VM inference failed");
+    const double first_infer_ms = MsSince(t_infer);
+
+    bool exact = true;
+    if (check) {
+      const runtime::Executor in_process(&artifact);
+      auto reference = in_process.Run(inputs);
+      HTVM_CHECK(reference.ok());
+      exact = result->outputs.size() == reference->outputs.size();
+      for (size_t i = 0; exact && i < result->outputs.size(); ++i) {
+        exact = result->outputs[i].SameAs(reference->outputs[i]);
+      }
+      if (!exact) mismatches += 1;
+    }
+
+    std::printf("%-10s %10.1f %12.2f %12.3f %9.0fx %12.3f %8s\n", model.name,
+                static_cast<double>(hab_bytes) / 1024.0, compile_ms, load_ms,
+                load_ms > 0 ? compile_ms / load_ms : 0.0, first_infer_ms,
+                check ? (exact ? "yes" : "NO") : "");
+  }
+  std::filesystem::remove_all(dir);
+  if (check && mismatches == 0) {
+    std::printf("\n--check: all models bit-exact (load vs cold compile)\n");
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  return htvm::RunSweep(check);
+}

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cache/artifact_serialize.hpp"
+#include "vm/hab.hpp"
 
 namespace htvm::cache {
 namespace {
@@ -126,8 +127,13 @@ void ArtifactCache::Store(const std::string& key,
     if (persist) stats_.disk_writes += 1;
   }
   if (persist) {
-    // Best-effort: a failed write degrades to memory-only caching.
-    (void)SaveArtifact(artifact, DiskPath(key));
+    // Best-effort: a failed write degrades to memory-only caching. New
+    // entries are written in the v2 binary format (the reader still accepts
+    // v1 text left by older builds — see docs/artifact_cache.md).
+    vm::HabMeta meta;
+    meta.model_name = key;
+    meta.producer = "artifact-cache";
+    (void)vm::SaveHab(artifact, meta, DiskPath(key));
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "ir/serialize.hpp"
 #include "support/string_utils.hpp"
+#include "vm/hab.hpp"
 
 namespace htvm::cache {
 namespace {
@@ -491,6 +492,16 @@ Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {
   std::istringstream stream(text);
   std::string line;
   if (!std::getline(stream, line) || line != kHeader) {
+    // A well-formed header for a different format version deserves a
+    // version-specific diagnostic, not a generic "missing header": the
+    // reader is too old (or the file too new), which is actionable.
+    constexpr const char* kPrefix = "htvm-artifact v";
+    if (line.rfind(kPrefix, 0) == 0) {
+      return Status::Unsupported(StrFormat(
+          "artifact declares \"%s\" but this reader supports %s "
+          "(version skew — recompile or upgrade)",
+          line.c_str(), kHeader));
+    }
     return Status::InvalidArgument("missing htvm-artifact v1 header");
   }
   compiler::Artifact a;
@@ -762,6 +773,13 @@ Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {
 }  // namespace
 
 Result<compiler::Artifact> DeserializeArtifact(const std::string& text) {
+  // v2 binaries (HAB) and v1 text share one entry point: sniff the magic
+  // and route, so cache directories can hold a mix during migration.
+  if (vm::LooksLikeHab(text)) {
+    HTVM_ASSIGN_OR_RETURN(parsed, vm::ParseHab(std::span<const u8>(
+        reinterpret_cast<const u8*>(text.data()), text.size())));
+    return std::move(parsed.artifact);
+  }
   // std::stoll inside the attr decoder throws on malformed numbers; surface
   // every parse failure as a recoverable status (a corrupted cache file
   // must degrade to a miss, never abort the server).
@@ -793,7 +811,7 @@ Status SaveArtifact(const compiler::Artifact& artifact,
 }
 
 Result<compiler::Artifact> LoadArtifact(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);  // cache files may be v2 binary
   if (!in) return Status::NotFound("cannot open " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();

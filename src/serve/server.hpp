@@ -85,6 +85,12 @@ class InferenceServer {
                             const compiler::CompileOptions& compile_options,
                             u64 input_seed = 0x5EEDull);
 
+  // Makes Drain report the process-wide compile-cache counters even when
+  // every model arrived pre-compiled (artifact-overload RegisterModel, e.g.
+  // a --preload-dir warm start): a fleet that compiled nothing should say
+  // "compiles": 0 in the metrics instead of omitting the cache block.
+  void EnableCompileCacheMetrics() { used_compile_cache_ = true; }
+
   // Spawns the worker pool. Must be called exactly once, after all models.
   void Start();
 

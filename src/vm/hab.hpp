@@ -1,0 +1,111 @@
+// HAB — the HTVM deployable binary artifact format ("htvm-artifact v2").
+//
+// A HAB file is what leaves the compiler and reaches a runner process that
+// has no compiler linked: a fixed little-endian header (magic, format
+// version, endianness tag), a section table with per-section byte ranges and
+// FNV-1a checksums, and 8-byte-aligned flat section payloads carrying
+// everything compiler::Artifact carries — the lowered kernel graph with
+// constant payloads, every compiled kernel with perf counters and DORY tile
+// schedule, the dispatch log, the pass timeline, the L2 memory plan, the
+// binary-size report and the DianaConfig. The layout is documented in
+// docs/deployable_artifact.md.
+//
+// Round-trip contract (mirrors the v1 text format in cache/
+// artifact_serialize.hpp): parsing a serialized artifact reconstructs
+// bit-identical state, so a runner executing a HAB is byte-exact with the
+// in-process compile that produced it.
+//
+// Failure model: every malformed input — truncation, bit flip, wrong magic,
+// future format version, foreign endianness, oversized section lengths —
+// degrades to a typed error Status (Unsupported for version/endianness
+// skew, InvalidArgument for corruption), never a crash. The artifact cache
+// treats any load error as a miss and recompiles.
+//
+// This header is compiler-free on purpose: htvm_vm links runtime + artifact
+// model + hw, never src/compiler (enforced by vm_link_test and a CMake
+// link-closure check), so `htvm-run` ships without the compiler.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "compiler/artifact.hpp"
+
+namespace htvm::vm {
+
+// --- on-disk constants (exposed for the corrupt-file fuzz battery) --------
+
+inline constexpr char kHabMagic[8] = {'H', 'T', 'V', 'M', 'H', 'A', 'B', '\n'};
+inline constexpr u32 kHabVersion = 2;
+// Written as a native u32; a reader on a foreign-endian host sees the
+// byte-swapped value and rejects with a typed Unsupported status.
+inline constexpr u32 kHabEndianTag = 0x01020304u;
+inline constexpr u32 kHabHeaderBytes = 64;
+inline constexpr u32 kHabSectionEntryBytes = 32;
+
+// Fixed header field offsets (bytes from the start of the file).
+inline constexpr size_t kHabMagicOffset = 0;
+inline constexpr size_t kHabVersionOffset = 8;
+inline constexpr size_t kHabEndianOffset = 12;
+inline constexpr size_t kHabHeaderBytesOffset = 16;
+inline constexpr size_t kHabSectionCountOffset = 20;
+inline constexpr size_t kHabFileBytesOffset = 24;
+
+// Section ids (u32 in the section table). Unknown ids are skipped on load —
+// a v2 reader stays forward-compatible with additive v2.x producers.
+enum class HabSection : u32 {
+  kMeta = 1,      // model name + producer tag
+  kHwConfig = 2,  // hw::DianaConfig
+  kSize = 3,      // tvmgen::BinarySizeReport
+  kMemPlan = 4,   // compiler::MemoryPlan
+  kPasses = 5,    // compiler::PassTimeline
+  kDispatch = 6,  // compiler::DispatchLog
+  kGraph = 7,     // lowered kernel graph incl. constant payloads
+  kKernels = 8,   // compiled kernels + perf + DORY schedules
+};
+
+// Producer-side metadata carried in the kMeta section; lets a runner or a
+// --preload-dir scan name a model without re-deriving it from the filename.
+struct HabMeta {
+  std::string model_name;
+  std::string producer;  // e.g. "htvmc", "artifact-cache"
+};
+
+// Per-section accounting surfaced by the loader (docs + `htvm-run --meta`).
+struct HabSectionInfo {
+  u32 id = 0;
+  i64 offset = 0;
+  i64 bytes = 0;
+  u64 checksum = 0;
+};
+
+struct ParsedHab {
+  compiler::Artifact artifact;
+  HabMeta meta;
+  std::vector<HabSectionInfo> sections;
+};
+
+// FNV-1a 64 over a byte range — the per-section checksum.
+u64 HabChecksum(const u8* data, size_t size);
+
+// True when `data` starts with the HAB magic (format sniffing; the artifact
+// cache uses it to route v2 binaries vs. v1 text through the right reader).
+bool LooksLikeHab(std::span<const u8> data);
+bool LooksLikeHab(const std::string& data);
+
+// Serializes an artifact to the flat v2 binary image. Deterministic: two
+// identical artifacts produce identical bytes (pass wall-times included, as
+// in v1 — use SerializeArtifactForDiff-style scrubbing upstream if needed).
+std::string SerializeHab(const compiler::Artifact& artifact,
+                         const HabMeta& meta = {});
+
+// Validates header, version, endianness, section table and checksums, then
+// reconstructs the artifact. Parses straight out of `data` (the loader
+// hands in an mmap'd file), copying only into the artifact's own storage.
+Result<ParsedHab> ParseHab(std::span<const u8> data);
+
+// Atomic file write (tmp + rename), like cache::SaveArtifact.
+Status SaveHab(const compiler::Artifact& artifact, const HabMeta& meta,
+               const std::string& path);
+
+}  // namespace htvm::vm

@@ -1,0 +1,65 @@
+#include "vm/loaded_artifact.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+
+namespace htvm::vm {
+namespace {
+
+// RAII for fd + mapping so every early return in FromFile unwinds cleanly.
+struct Mapping {
+  int fd = -1;
+  void* addr = MAP_FAILED;
+  size_t size = 0;
+
+  ~Mapping() {
+    if (addr != MAP_FAILED) ::munmap(addr, size);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Result<LoadedArtifact> LoadedArtifact::FromFile(const std::string& path) {
+  Mapping m;
+  m.fd = ::open(path.c_str(), O_RDONLY);
+  if (m.fd < 0) {
+    return Status::NotFound("cannot open artifact file: " + path);
+  }
+  struct stat st;
+  if (::fstat(m.fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  m.size = static_cast<size_t>(st.st_size);
+  if (m.size > 0) {
+    m.addr = ::mmap(nullptr, m.size, PROT_READ, MAP_PRIVATE, m.fd, 0);
+  }
+  if (m.addr != MAP_FAILED && m.size > 0) {
+    std::span<const u8> data(static_cast<const u8*>(m.addr), m.size);
+    HTVM_ASSIGN_OR_RETURN(parsed, ParseHab(data));
+    LoadedArtifact loaded(std::move(parsed));
+    loaded.file_bytes_ = static_cast<i64>(m.size);
+    loaded.zero_copy_source_ = true;
+    return loaded;
+  }
+  // mmap unavailable (or empty file): buffered read, same validation.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open artifact file: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return FromBuffer(std::span<const u8>(
+      reinterpret_cast<const u8*>(bytes.data()), bytes.size()));
+}
+
+Result<LoadedArtifact> LoadedArtifact::FromBuffer(std::span<const u8> data) {
+  HTVM_ASSIGN_OR_RETURN(parsed, ParseHab(data));
+  LoadedArtifact loaded(std::move(parsed));
+  loaded.file_bytes_ = static_cast<i64>(data.size());
+  return loaded;
+}
+
+}  // namespace htvm::vm

@@ -1,0 +1,47 @@
+// vm::VmExecutor — inference over a loaded HAB, no compiler linked.
+//
+// Wraps runtime::Executor around LoadedArtifact and adds what a standalone
+// runner process needs: deterministic synthetic inputs derived from the
+// artifact's own graph signature (the same seed → Tensor::Random scheme the
+// serving layer uses, so `htvm-run` and an in-process run agree bit for
+// bit), and a tensor-list file format for piping inputs/outputs between
+// processes and asserting byte identity in CI.
+#pragma once
+
+#include "runtime/executor.hpp"
+#include "vm/loaded_artifact.hpp"
+
+namespace htvm::vm {
+
+class VmExecutor {
+ public:
+  // The LoadedArtifact's parsed state is shared (and immutable), so the
+  // executor stays valid however the caller moves `loaded` around.
+  explicit VmExecutor(LoadedArtifact loaded,
+                      runtime::ExecutorOptions options = {});
+
+  const LoadedArtifact& loaded() const { return loaded_; }
+  const compiler::Artifact& artifact() const { return loaded_.artifact(); }
+
+  // Thread-safe, like runtime::Executor.
+  Result<runtime::ExecutionResult> Run(std::span<const Tensor> inputs,
+                                       const runtime::RunContext* ctx =
+                                           nullptr) const;
+
+ private:
+  LoadedArtifact loaded_;
+  runtime::Executor executor_;
+};
+
+// One tensor per graph input, filled by Tensor::Random from `seed`. Both
+// htvmc --run-outputs and htvm-run synthesize inputs through this exact
+// function, which is what makes the CI byte-identity check meaningful.
+std::vector<Tensor> SyntheticInputs(const compiler::Artifact& artifact,
+                                    u64 seed);
+
+// Flat tensor-list file ("HTVMTEN1" magic): dtype, shape and raw payload
+// per tensor. Used for --dump-outputs / --input files.
+Status SaveTensors(std::span<const Tensor> tensors, const std::string& path);
+Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+}  // namespace htvm::vm

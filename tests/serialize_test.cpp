@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cache/artifact_serialize.hpp"
 #include "ir/builder.hpp"
 #include "ir/serialize.hpp"
 #include "models/mlperf_tiny.hpp"
@@ -83,6 +84,26 @@ TEST(Serialize, RejectsTruncatedConstant) {
   const std::string text =
       "htvm-graph v1\nconst w int8 1 4 1 2 3\noutput 1 0\n";
   EXPECT_FALSE(DeserializeGraph(text).ok());
+}
+
+TEST(Serialize, ArtifactVersionSkewIsTypedAndSpecific) {
+  // A well-formed header for a future (or past) format version must produce
+  // an Unsupported status naming the version seen — not the generic
+  // "missing header" corruption message.
+  auto future = cache::DeserializeArtifact("htvm-artifact v9\nhw 1 2\n");
+  ASSERT_FALSE(future.ok());
+  EXPECT_EQ(future.status().code(), StatusCode::kUnsupported);
+  EXPECT_NE(future.status().ToString().find("htvm-artifact v9"),
+            std::string::npos);
+  EXPECT_NE(future.status().ToString().find("version skew"),
+            std::string::npos);
+
+  // Garbage that never was an artifact header stays InvalidArgument.
+  auto garbage = cache::DeserializeArtifact("definitely not an artifact");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(garbage.status().ToString().find("missing htvm-artifact v1"),
+            std::string::npos);
 }
 
 TEST(Serialize, FileRoundTrip) {

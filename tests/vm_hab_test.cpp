@@ -1,0 +1,204 @@
+// HAB (htvm-artifact v2) round-trip and end-to-end VM tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cache/artifact_cache.hpp"
+#include "cache/artifact_serialize.hpp"
+#include "compiler/pipeline.hpp"
+#include "models/mlperf_tiny.hpp"
+#include "runtime/executor.hpp"
+#include "vm/hab.hpp"
+#include "vm/vm_executor.hpp"
+
+namespace htvm::vm {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("htvm_vm_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+compiler::Artifact CompileDsCnn() {
+  Graph g = models::BuildDsCnn(models::PrecisionPolicy::kMixed);
+  auto artifact = compiler::HtvmCompiler{{}}.Compile(g);
+  HTVM_CHECK(artifact.ok());
+  return std::move(*artifact);
+}
+
+TEST(Hab, RoundTripIsBitIdentical) {
+  const compiler::Artifact a = CompileDsCnn();
+  HabMeta meta;
+  meta.model_name = "dscnn";
+  meta.producer = "test";
+  const std::string bytes = SerializeHab(a, meta);
+  ASSERT_TRUE(LooksLikeHab(bytes));
+
+  auto parsed = ParseHab({reinterpret_cast<const u8*>(bytes.data()),
+                          bytes.size()});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->meta.model_name, "dscnn");
+  EXPECT_EQ(parsed->meta.producer, "test");
+
+  // The strongest identity check the repo has: the v1 diff form of the
+  // reparsed artifact matches the original field for field.
+  EXPECT_EQ(cache::SerializeArtifactForDiff(parsed->artifact),
+            cache::SerializeArtifactForDiff(a));
+  // And the binary form itself is deterministic + stable across a cycle.
+  EXPECT_EQ(SerializeHab(parsed->artifact, parsed->meta), bytes);
+}
+
+TEST(Hab, SectionTableIsComplete) {
+  const compiler::Artifact a = CompileDsCnn();
+  const std::string bytes = SerializeHab(a);
+  auto parsed = ParseHab({reinterpret_cast<const u8*>(bytes.data()),
+                          bytes.size()});
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->sections.size(), 8u);
+  for (u32 id = 1; id <= 8; ++id) {
+    EXPECT_EQ(parsed->sections[id - 1].id, id);
+    EXPECT_EQ(parsed->sections[id - 1].offset % 8, 0) << "section " << id;
+  }
+}
+
+TEST(Hab, FileRoundTripThroughLoader) {
+  TempDir dir;
+  const compiler::Artifact a = CompileDsCnn();
+  HabMeta meta;
+  meta.model_name = "dscnn";
+  const std::string path = dir.file("model.hab");
+  ASSERT_TRUE(SaveHab(a, meta, path).ok());
+
+  auto loaded = LoadedArtifact::FromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->zero_copy_source());
+  EXPECT_GT(loaded->file_bytes(), 0);
+  EXPECT_EQ(cache::SerializeArtifactForDiff(loaded->artifact()),
+            cache::SerializeArtifactForDiff(a));
+}
+
+TEST(Hab, MissingFileIsNotFound) {
+  auto loaded = LoadedArtifact::FromFile("/nonexistent/model.hab");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Hab, VmExecutorBitExactWithInProcessExecutor) {
+  TempDir dir;
+  const compiler::Artifact a = CompileDsCnn();
+  const std::string path = dir.file("model.hab");
+  ASSERT_TRUE(SaveHab(a, {}, path).ok());
+  auto loaded = LoadedArtifact::FromFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  const VmExecutor vm_exec(std::move(*loaded));
+  const runtime::Executor in_process(&a);
+  const std::vector<Tensor> inputs = SyntheticInputs(a, 42);
+
+  auto from_vm = vm_exec.Run(inputs);
+  auto from_compile = in_process.Run(inputs);
+  ASSERT_TRUE(from_vm.ok()) << from_vm.status().ToString();
+  ASSERT_TRUE(from_compile.ok());
+  ASSERT_EQ(from_vm->outputs.size(), from_compile->outputs.size());
+  for (size_t i = 0; i < from_vm->outputs.size(); ++i) {
+    EXPECT_TRUE(from_vm->outputs[i].SameAs(from_compile->outputs[i]));
+  }
+  EXPECT_EQ(from_vm->total_cycles, from_compile->total_cycles);
+}
+
+TEST(Hab, TensorFileRoundTrip) {
+  TempDir dir;
+  Rng rng(5);
+  std::vector<Tensor> tensors;
+  tensors.push_back(Tensor::Random(Shape{1, 8, 4, 4}, DType::kInt8, rng));
+  tensors.push_back(Tensor::Random(Shape{12}, DType::kInt32, rng));
+  const std::string path = dir.file("io.tensors");
+  ASSERT_TRUE(SaveTensors(tensors, path).ok());
+
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_TRUE((*loaded)[0].SameAs(tensors[0]));
+  EXPECT_TRUE((*loaded)[1].SameAs(tensors[1]));
+
+  EXPECT_EQ(LoadTensors(dir.file("missing.tensors")).status().code(),
+            StatusCode::kNotFound);
+  std::ofstream(dir.file("junk.tensors")) << "not a tensor file";
+  EXPECT_EQ(LoadTensors(dir.file("junk.tensors")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Hab, CacheWritesV2AndStillReadsV1) {
+  TempDir dir;
+  const compiler::Artifact a = CompileDsCnn();
+
+  // New entries land on disk as HAB binaries...
+  cache::ArtifactCache fresh({.dir = dir.path.string()});
+  fresh.Store("model-a", a);
+  {
+    std::ifstream in(dir.file("model-a.htvmart"), std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string head(8, '\0');
+    in.read(head.data(), 8);
+    EXPECT_TRUE(LooksLikeHab(head));
+  }
+
+  // ...and a v1 text file left by an older build still loads (migration).
+  ASSERT_TRUE(cache::SaveArtifact(a, dir.file("model-b.htvmart")).ok());
+  cache::ArtifactCache reader({.dir = dir.path.string()});
+  auto from_v2 = reader.Lookup("model-a");
+  auto from_v1 = reader.Lookup("model-b");
+  ASSERT_NE(from_v2, nullptr);
+  ASSERT_NE(from_v1, nullptr);
+  EXPECT_EQ(cache::SerializeArtifactForDiff(*from_v2),
+            cache::SerializeArtifactForDiff(a));
+  EXPECT_EQ(cache::SerializeArtifactForDiff(*from_v1),
+            cache::SerializeArtifactForDiff(a));
+}
+
+TEST(Hab, CorruptCacheFileDegradesToMiss) {
+  TempDir dir;
+  const compiler::Artifact a = CompileDsCnn();
+  cache::ArtifactCache writer({.dir = dir.path.string()});
+  writer.Store("model", a);
+
+  // Flip one byte in the middle of the file: checksum must catch it and the
+  // cache must treat the file as a miss instead of crashing.
+  const std::string path = dir.file("model.htvmart");
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  cache::ArtifactCache reader({.dir = dir.path.string()});
+  EXPECT_EQ(reader.Lookup("model"), nullptr);
+  EXPECT_EQ(reader.stats().misses, 1);
+}
+
+}  // namespace
+}  // namespace htvm::vm

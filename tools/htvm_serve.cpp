@@ -9,9 +9,11 @@
 //              --duration-s 2 --seed 7
 //   htvm-serve --model resnet,dscnn --config digital --qps 500 --fleet 2 \
 //              --batch 4 --queue-cap 32
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "cache/artifact_cache.hpp"
@@ -20,6 +22,7 @@
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
 #include "support/string_utils.hpp"
+#include "vm/loaded_artifact.hpp"
 
 using namespace htvm;
 
@@ -37,6 +40,7 @@ struct ServeCliOptions {
   int compile_threads = 0;   // CompileKernels lanes (0 = hw concurrency)
   u64 seed = 7;
   std::string cache_dir;
+  std::string preload_dir;  // register deployable HABs, zero compiles
   bool verify = false;
   bool help = false;
   bool chaos = false;
@@ -68,6 +72,10 @@ options:
                              addressed cache; a restarted fleet serving the
                              same models compiles nothing ("compiles": 0 in
                              the metrics JSON)
+  --preload-dir <dir>        register every htvm-artifact v2 (.hab/.htvmart)
+                             file in <dir> as a served model — a warm start
+                             with zero compiles; combine with --model to
+                             serve compiled models alongside
   --verify                   check every output against the reference run
   --chaos                    inject seeded SoC faults (crashes, transient
                              DMA/accelerator errors, latency spikes); the
@@ -147,6 +155,9 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--cache-dir") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.cache_dir = v;
+    } else if (arg == "--preload-dir") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.preload_dir = v;
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--chaos") {
@@ -199,7 +210,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const ServeCliOptions opt = *parsed;
-  if (opt.help || opt.models.empty()) {
+  if (opt.help || (opt.models.empty() && opt.preload_dir.empty())) {
     PrintUsage();
     return opt.help ? 0 : 2;
   }
@@ -245,6 +256,61 @@ int main(int argc, char** argv) {
     // Still compile through the process-wide cache: duplicate models in
     // --model a,a and repeated registrations compile once per content.
     cache::ConfigureGlobalArtifactCache({});
+  }
+
+  if (!opt.preload_dir.empty()) {
+    // Warm start: every deployable artifact in the directory becomes a
+    // served model without touching the compiler.
+    server.EnableCompileCacheMetrics();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(opt.preload_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "htvm-serve: cannot read --preload-dir %s: %s\n",
+                   opt.preload_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    // Sorted for deterministic model handles (directory order is not).
+    std::vector<std::string> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opt.preload_dir)) {
+      const std::string ext = entry.path().extension().string();
+      if (entry.is_regular_file() && (ext == ".hab" || ext == ".htvmart")) {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    int preloaded = 0;
+    for (const std::string& path : paths) {
+      auto loaded = vm::LoadedArtifact::FromFile(path);
+      if (!loaded.ok()) {
+        // Corrupt or version-skewed files are skipped, like a cache miss —
+        // one bad artifact must not take down the warm start.
+        std::fprintf(stderr, "htvm-serve: skipping %s: %s\n", path.c_str(),
+                     loaded.status().ToString().c_str());
+        continue;
+      }
+      std::string name = loaded->meta().model_name;
+      if (name.empty()) {
+        name = std::filesystem::path(path).stem().string();
+      }
+      auto artifact = std::make_shared<const compiler::Artifact>(
+          loaded->artifact());
+      auto handle = server.RegisterModel(name, std::move(artifact), opt.seed);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "htvm-serve: %s\n",
+                     handle.status().ToString().c_str());
+        return 1;
+      }
+      preloaded += 1;
+      std::fprintf(stderr,
+                   "htvm-serve: %s preloaded from %s, service %.1f us/request\n",
+                   name.c_str(), path.c_str(), server.ServiceUs(*handle));
+    }
+    if (preloaded == 0 && opt.models.empty()) {
+      std::fprintf(stderr, "htvm-serve: no loadable artifacts in %s\n",
+                   opt.preload_dir.c_str());
+      return 1;
+    }
   }
 
   for (const std::string& name : opt.models) {

@@ -23,8 +23,11 @@
 #include "ir/serialize.hpp"
 #include "models/mlperf_tiny.hpp"
 #include "runtime/energy.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/timeline.hpp"
 #include "support/string_utils.hpp"
+#include "vm/hab.hpp"
+#include "vm/vm_executor.hpp"
 
 using namespace htvm;
 
@@ -39,6 +42,9 @@ struct CliOptions {
   std::string dump_ir_dir;
   std::string dump_ir_filter;
   std::string cache_dir;
+  std::string artifact_path;  // --emit-artifact: write a deployable HAB
+  std::string run_outputs;    // in-process inference, dump output tensors
+  u64 input_seed = 42;
   i64 l1_kb = -1;
   int compile_threads = 0;  // 0 = hardware concurrency, 1 = sequential
   bool report = false;
@@ -72,6 +78,15 @@ options:
                                               entering and leaving <pass>
   --cache-dir <dir>                           reuse compiled artifacts from a
                                               content-addressed cache dir
+  --emit-artifact <file.hab>                  write the compiled model as a
+                                              deployable htvm-artifact v2
+                                              binary (run it with htvm-run)
+  --run-outputs <file>                        run inference in-process on
+                                              synthetic inputs and dump the
+                                              output tensors (byte-comparable
+                                              with htvm-run --dump-outputs)
+  --input-seed <n>                            seed for synthetic inputs
+                                              (default 42)
   --compile-threads <n>                       CompileKernels lanes on the
                                               shared pool (0 = hardware
                                               concurrency, 1 = sequential;
@@ -117,6 +132,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--cache-dir") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.cache_dir = v;
+    } else if (arg == "--emit-artifact") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.artifact_path = v;
+    } else if (arg == "--run-outputs") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.run_outputs = v;
+    } else if (arg == "--input-seed") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      opt.input_seed = static_cast<u64>(std::atoll(v.c_str()));
     } else if (arg == "--compile-threads") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.compile_threads = std::atoi(v.c_str());
@@ -230,6 +254,37 @@ int main(int argc, char** argv) {
               artifact->PeakLatencyMs(), artifact->size.ToString().c_str(),
               artifact->memory_plan.fits ? "fits" : "OUT OF MEMORY");
 
+  if (!opt.artifact_path.empty()) {
+    vm::HabMeta meta;
+    meta.model_name = opt.model.empty() ? opt.graph_path : opt.model;
+    meta.producer = "htvmc";
+    if (auto status = vm::SaveHab(*artifact, meta, opt.artifact_path);
+        !status.ok()) {
+      std::fprintf(stderr, "htvmc: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote artifact %s\n", opt.artifact_path.c_str());
+  }
+  if (!opt.run_outputs.empty()) {
+    const std::vector<Tensor> inputs =
+        vm::SyntheticInputs(*artifact, opt.input_seed);
+    const runtime::Executor executor(&*artifact);
+    auto result = executor.Run(inputs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "htvmc: run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (auto status = vm::SaveTensors(result->outputs, opt.run_outputs);
+        !status.ok()) {
+      std::fprintf(stderr, "htvmc: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("ran %zu outputs (seed %llu) -> %s\n",
+                result->outputs.size(),
+                static_cast<unsigned long long>(opt.input_seed),
+                opt.run_outputs.c_str());
+  }
   if (!opt.dump_ir_dir.empty()) {
     std::printf("dumped per-pass IR to %s\n", opt.dump_ir_dir.c_str());
   }
