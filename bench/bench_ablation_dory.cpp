@@ -92,7 +92,7 @@ void AblateWeightMemory() {
   const Graph net = models::BuildToyAdmosDae(PrecisionPolicy::kInt8);
   for (const i64 kb : {256, 128, 64, 32, 16, 8}) {
     CompileOptions opt = CompileOptions::DigitalOnly();
-    opt.hw.digital.weight_mem_bytes = kb * 1024;
+    opt.soc.config.digital.weight_mem_bytes = kb * 1024;
     const auto art = Compile(net, opt);
     i64 wdma = 0;
     for (const auto& k : art.kernels) wdma += k.perf.weight_dma_cycles;

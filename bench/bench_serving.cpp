@@ -5,9 +5,19 @@
 // rejections and mean utilization. The "knee" column marks the first QPS
 // where the fleet saturates: p99 latency exceeds 5x the standalone service
 // time or admission control starts rejecting.
+//
+// Mixed-fleet mode (--fleet <name:count,...>): sweeps QPS over a
+// heterogeneous fleet twice — model-aware placement vs the round-robin
+// baseline — serving DS-CNN and ResNet together. With --check the run
+// exits non-zero unless model-aware wins on mean latency, which is the
+// acceptance gate CI runs.
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "hw/soc.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
 
@@ -37,11 +47,127 @@ SweepResult RunOnce(const std::shared_ptr<const compiler::Artifact>& artifact,
   return SweepResult{server.Drain(duration_s), server.ServiceUs(*handle)};
 }
 
+// "diana:2,diana-pe32:1" -> one kind per fleet index. Aborts on a name the
+// registry does not know (this is a bench, not a CLI).
+std::vector<std::string> ParseFleetSpec(const std::string& spec) {
+  std::vector<std::string> kinds;
+  std::string entry;
+  for (char c : spec + ",") {
+    if (c != ',') {
+      entry += c;
+      continue;
+    }
+    if (entry.empty()) continue;
+    std::string name = entry;
+    int count = 1;
+    const size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      name = entry.substr(0, colon);
+      count = std::atoi(entry.c_str() + colon + 1);
+    }
+    HTVM_CHECK_MSG(count > 0, "bad --fleet count");
+    HTVM_CHECK_MSG(hw::FindSoc(name).ok(), "unknown SoC in --fleet");
+    kinds.insert(kinds.end(), static_cast<size_t>(count), name);
+    entry.clear();
+  }
+  HTVM_CHECK_MSG(!kinds.empty(), "empty --fleet spec");
+  return kinds;
+}
+
+serve::ServingMetrics RunMixedFleet(const std::vector<std::string>& kinds,
+                                    serve::PlacementPolicy placement,
+                                    double qps, double duration_s, u64 seed) {
+  serve::ServerOptions options;
+  options.fleet_size = static_cast<int>(kinds.size());
+  options.soc_kinds = kinds;
+  options.placement = placement;
+  options.queue_capacity = 64;
+  options.max_batch = 4;
+  serve::InferenceServer server(options);
+  const compiler::CompileOptions compile_options;
+  for (const char* name : {"dscnn", "resnet"}) {
+    const Graph net = name[0] == 'd'
+        ? models::BuildDsCnn(models::PrecisionPolicy::kMixed)
+        : models::BuildResNet8(models::PrecisionPolicy::kMixed);
+    auto handle = server.RegisterModel(name, net, compile_options, seed);
+    HTVM_CHECK_MSG(handle.ok(), "RegisterModel failed");
+  }
+  const auto trace =
+      serve::PoissonTrace(qps, duration_s, seed, server.num_models());
+  server.Start();
+  for (const auto& event : trace) {
+    (void)server.Submit(event.model, event.arrival_us);
+  }
+  return server.Drain(duration_s);
+}
+
+// --fleet mode: model-aware vs round-robin over an asymmetric fleet. The
+// speed spread across kinds is what placement can exploit; round-robin
+// feeds the slow kinds their full share.
+int MixedFleetMain(const std::string& spec, bool check) {
+  using namespace htvm;
+  const std::vector<std::string> kinds = ParseFleetSpec(spec);
+  bench::PrintHeader("Mixed-fleet placement — DS-CNN + ResNet, mixed config");
+  std::printf("fleet:");
+  for (const auto& k : kinds) std::printf(" %s", k.c_str());
+  std::printf("\n\n%-8s %-14s %10s %10s %10s %10s %10s\n", "qps", "placement",
+              "tput_rps", "p50_us", "p99_us", "mean_us", "rejected");
+
+  const double kQps[] = {100, 200, 400, 800};
+  int aware_wins = 0, rows = 0;
+  double aware_mean_sum = 0, rr_mean_sum = 0;
+  for (double qps : kQps) {
+    serve::ServingMetrics per_policy[2];
+    const serve::PlacementPolicy policies[2] = {
+        serve::PlacementPolicy::kModelAware,
+        serve::PlacementPolicy::kRoundRobin};
+    for (int p = 0; p < 2; ++p) {
+      per_policy[p] =
+          RunMixedFleet(kinds, policies[p], qps, /*duration_s=*/1.0,
+                        /*seed=*/7);
+      const auto& m = per_policy[p];
+      std::printf("%-8.0f %-14s %10.1f %10.1f %10.1f %10.1f %10lld\n", qps,
+                  serve::PlacementPolicyName(policies[p]), m.throughput_rps,
+                  m.latency_p50_us, m.latency_p99_us, m.latency_mean_us,
+                  static_cast<long long>(m.rejected));
+    }
+    rows += 1;
+    aware_wins += per_policy[0].latency_mean_us < per_policy[1].latency_mean_us;
+    aware_mean_sum += per_policy[0].latency_mean_us;
+    rr_mean_sum += per_policy[1].latency_mean_us;
+  }
+  bench::PrintRule(78);
+  std::printf("model-aware wins %d/%d loads on mean latency "
+              "(%.1f us vs %.1f us averaged over the sweep)\n",
+              aware_wins, rows, aware_mean_sum / rows, rr_mean_sum / rows);
+  if (check && aware_mean_sum >= rr_mean_sum) {
+    std::printf("CHECK FAILED: model-aware placement did not beat "
+                "round-robin\n");
+    return 1;
+  }
+  if (check) std::printf("CHECK PASSED\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace htvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace htvm;
+  std::string fleet_spec;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleet_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_serving [--fleet <spec> [--check]]\n");
+      return 2;
+    }
+  }
+  if (!fleet_spec.empty()) return MixedFleetMain(fleet_spec, check);
+
   bench::PrintHeader("Serving saturation sweep — DS-CNN, mixed config");
 
   const Graph net = models::BuildDsCnn(models::PrecisionPolicy::kMixed);

@@ -57,7 +57,8 @@ int main() {
   Deploy("DIANA", diana);
 
   compiler::CompileOptions tinyedge = compiler::CompileOptions::DigitalOnly();
-  tinyedge.hw = TinyEdgeConfig();
+  tinyedge.soc.name = "tinyedge";
+  tinyedge.soc.config = TinyEdgeConfig();
   Deploy("TinyEdge", tinyedge);
 
   std::printf(

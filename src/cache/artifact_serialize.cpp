@@ -381,6 +381,13 @@ Status ReadNode(const std::string& kind, std::istringstream& ls,
 std::string SerializeArtifact(const compiler::Artifact& a) {
   std::string out = std::string(kHeader) + "\n";
 
+  // The SoC record is written only for non-default SoCs: "diana" artifacts
+  // stay byte-identical to every pre-SoC-family serialization, and soc-less
+  // files deserialize to the "diana" member default.
+  if (a.soc_name != "diana") {
+    out += StrFormat("soc %s\n", Esc(a.soc_name).c_str());
+  }
+
   const hw::DianaConfig& hw = a.hw_config;
   out += StrFormat("hw %lld %lld %s %lld\n",
                    static_cast<long long>(hw.l1_bytes),
@@ -521,6 +528,32 @@ Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {
     }
     return ls;
   };
+
+  // Optional SoC record (absent for "diana" and for every pre-SoC-family
+  // file — both load with the "diana" member default). Peek the next line;
+  // anything other than "soc" is pushed back for the fixed prefix below.
+  {
+    const std::streampos before = stream.tellg();
+    if (std::getline(stream, line)) {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "soc") {
+        HTVM_ASSIGN_OR_RETURN(name, ReadEsc(ls));
+        if (name.empty() || name == "diana") {
+          return Status::InvalidArgument(
+              "soc record must name a non-default SoC");
+        }
+        a.soc_name = name;
+      } else {
+        stream.clear();
+        stream.seekg(before);
+      }
+    } else {
+      stream.clear();
+      stream.seekg(before);
+    }
+  }
 
   {
     HTVM_ASSIGN_OR_RETURN(ls, next("hw"));

@@ -3,7 +3,11 @@
 namespace htvm::cache {
 namespace {
 
-constexpr u64 kOptionsFingerprintVersion = 1;
+// v2: SoC identity (name, accelerator presence, CPU SIMD class) joined the
+// fingerprint. The geometry (HashHwConfig) was always hashed, but two
+// registered SoCs with identical geometry would previously collide on one
+// entry — and a wrong-SoC artifact would be served as a hit.
+constexpr u64 kOptionsFingerprintVersion = 2;
 
 void HashDmaConfig(ir::Hasher& h, const hw::DmaConfig& c) {
   h.Add(c.setup_cycles).Add(c.bytes_per_cycle).Add(c.row_setup_cycles);
@@ -90,7 +94,14 @@ ir::Hash128 OptionsFingerprint(const compiler::CompileOptions& options) {
       .Add(options.plain_tvm);
   HashTilerOptions(h, options.tiler);
   HashSizeModel(h, options.size_model);
-  HashHwConfig(h, options.hw);
+  // SoC identity first (name + presence flags + SIMD class), then the full
+  // geometry/cost model. Identity alone distinguishes same-geometry twins;
+  // geometry alone distinguishes a re-registered name with new parameters.
+  h.AddString(options.soc.name)
+      .Add(options.soc.has_digital)
+      .Add(options.soc.has_analog)
+      .Add(static_cast<i64>(options.soc.simd));
+  HashHwConfig(h, options.soc.config);
   // options.instrument, options.cache and options.compile_threads are
   // intentionally absent: IR dumping, validation, the cache wiring and the
   // CompileKernels lane count never change the artifact (the last is the

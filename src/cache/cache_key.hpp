@@ -6,9 +6,12 @@
 // graph half comes from ir::StructuralHash (NodeId-numbering and
 // insertion-order invariant); the options half folds in every field of
 // CompileOptions that reaches a pass — dispatch toggles, the plain-TVM
-// flag, tiler weights, the size model, and the full DianaConfig — and
+// flag, tiler weights, the size model, the SoC identity (name, accelerator
+// presence, CPU SIMD class) and its full DianaConfig geometry — and
 // deliberately excludes instrumentation knobs (verify/--dump-ir) and the
 // cache pointer itself, which change diagnostics but never the artifact.
+// Hashing the SoC *identity* on top of the geometry means two registered
+// SoCs can never collide on one entry, even if their parameters match.
 //
 // docs/artifact_cache.md spells out the key definition and its
 // invalidation rules.

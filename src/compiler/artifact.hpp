@@ -69,6 +69,10 @@ struct Artifact {
   MemoryPlan memory_plan;
   tvmgen::BinarySizeReport size;
   hw::DianaConfig hw_config;
+  // Name of the SocDescription this artifact was compiled for. Soc-less
+  // serialized artifacts (v1 text / HAB without a kSoc section, i.e.
+  // everything pre-dating SoC families) load as "diana".
+  std::string soc_name = "diana";
 
   hw::RunProfile Profile() const;
   // End-to-end latency: every kernel at its full (call-to-return) cost.

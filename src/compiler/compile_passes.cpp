@@ -54,7 +54,7 @@ class PartitionGraphPass final : public Pass {
       return Status::Ok();
     }
     const auto rules = MakeDianaDispatchRules(
-        state.options.dispatch, state.options.hw, state.options.tiler,
+        state.options.dispatch, state.options.soc, state.options.tiler,
         &state.artifact.dispatch_log);
     state.graph = PartitionGraph(state.graph, rules);
     return Status::Ok();
@@ -122,7 +122,7 @@ class CompileKernelsPass final : public Pass {
       const Node& n = state.graph.node(composites[static_cast<size_t>(i)]);
       CompiledKernel& kernel = kernels[static_cast<size_t>(i)];
       if (kernel.target == "cpu") {
-        kernel.perf = tvmgen::CpuCompositePerf(options.hw, n, kernel.name);
+        kernel.perf = tvmgen::CpuCompositePerf(options.soc.config, n, kernel.name);
         kernel.code_bytes = tvmgen::CpuKernelCodeBytes(options.size_model, n);
         kernel.weight_bytes = tvmgen::CpuKernelWeightBytes(n);
       } else {
@@ -131,7 +131,7 @@ class CompileKernelsPass final : public Pass {
                                       : dory::AccelTarget::kDigital;
         HTVM_ASSIGN_OR_RETURN(spec, dory::AnalyzeCompositeBody(*n.body));
         HTVM_ASSIGN_OR_RETURN(
-            sched, dory::BuildSchedule(spec, options.hw, accel_target,
+            sched, dory::BuildSchedule(spec, options.soc.config, accel_target,
                                        options.tiler));
         kernel.perf.name = kernel.name;
         kernel.perf.target = kernel.target;
@@ -146,7 +146,7 @@ class CompileKernelsPass final : public Pass {
         kernel.code_bytes = tvmgen::AccelKernelCodeBytes(
             options.size_model, sched.solution.needs_tiling);
         kernel.weight_bytes =
-            dory::DeployedWeightBytes(spec, options.hw, accel_target);
+            dory::DeployedWeightBytes(spec, options.soc.config, accel_target);
         kernel.schedule = std::move(sched);
       }
       return Status::Ok();
@@ -201,7 +201,7 @@ class PlanL2MemoryPass final : public Pass {
   Status Run(CompileState& state) const override {
     state.artifact.memory_plan =
         PlanL2Memory(state.graph, state.artifact.size.Total(),
-                     state.options.hw.l2_bytes,
+                     state.options.soc.config.l2_bytes,
                      /*reuse=*/!state.options.plain_tvm);
     return Status::Ok();
   }
@@ -216,7 +216,8 @@ class FinalizeArtifactPass final : public Pass {
     // lowered graph in state.graph; composite bodies are shared pointers,
     // so this duplicates node metadata only.
     state.artifact.kernel_graph = state.graph;
-    state.artifact.hw_config = state.options.hw;
+    state.artifact.hw_config = state.options.soc.config;
+    state.artifact.soc_name = state.options.soc.name;
     HTVM_ILOG << "compiled " << state.artifact.kernels.size() << " kernels, "
               << state.artifact.size.ToString()
               << ", arena=" << state.artifact.memory_plan.arena_bytes;

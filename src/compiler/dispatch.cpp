@@ -177,4 +177,13 @@ std::vector<PatternRule> MakeDianaDispatchRules(
   return rules;
 }
 
+std::vector<PatternRule> MakeDianaDispatchRules(
+    const DispatchOptions& options, const hw::SocDescription& soc,
+    const dory::TilerOptions& tiler_options, DispatchLog* log) {
+  DispatchOptions gated = options;
+  gated.enable_digital = gated.enable_digital && soc.has_digital;
+  gated.enable_analog = gated.enable_analog && soc.has_analog;
+  return MakeDianaDispatchRules(gated, soc.config, tiler_options, log);
+}
+
 }  // namespace htvm::compiler

@@ -8,7 +8,7 @@
 #pragma once
 
 #include "dory/tiler.hpp"
-#include "hw/config.hpp"
+#include "hw/soc.hpp"
 #include "pattern/rewriter.hpp"
 
 namespace htvm::compiler {
@@ -45,6 +45,14 @@ using DispatchLog = std::vector<DispatchDecision>;
 // match's accept/reject decision is appended to it.
 std::vector<PatternRule> MakeDianaDispatchRules(
     const DispatchOptions& options, const hw::DianaConfig& cfg,
+    const dory::TilerOptions& tiler_options, DispatchLog* log = nullptr);
+
+// SoC-family entry point: a SoC without an accelerator never receives
+// rules for it, regardless of `options` (an absent engine beats an enabled
+// flag). Delegates to the DianaConfig overload with the presence flags
+// ANDed in.
+std::vector<PatternRule> MakeDianaDispatchRules(
+    const DispatchOptions& options, const hw::SocDescription& soc,
     const dory::TilerOptions& tiler_options, DispatchLog* log = nullptr);
 
 }  // namespace htvm::compiler

@@ -15,6 +15,7 @@
 #include "compiler/artifact.hpp"
 #include "compiler/dispatch.hpp"
 #include "dory/tiler.hpp"
+#include "hw/soc.hpp"
 
 namespace htvm::compiler {
 
@@ -47,7 +48,12 @@ struct CompileOptions {
   bool plain_tvm = false;
   dory::TilerOptions tiler;
   tvmgen::SizeModelConfig size_model;
-  hw::DianaConfig hw = hw::DianaConfig::Default();
+  // Which SoC family member to compile for (hw/soc.hpp). The default is
+  // the paper's DIANA chip; other registered variants change the tiler
+  // bounds, dispatch cost model, L2 planner, and artifact identity. The
+  // SoC fingerprint joins the artifact-cache key, so distinct SoCs never
+  // share a cache entry.
+  hw::SocDescription soc;
   // CompileKernels sharding (docs/compiler_passes.md "Parallel
   // CompileKernels"): concurrent per-kernel compile lanes on the shared
   // pool. 0 = hardware concurrency, 1 = the exact sequential path. Kernel

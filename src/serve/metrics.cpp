@@ -6,6 +6,7 @@ namespace htvm::serve {
 
 std::string ServingMetrics::ToJson() const {
   std::string out = "{\n";
+  out += StrFormat("  \"placement\": \"%s\",\n", placement.c_str());
   out += StrFormat("  \"offered\": %lld,\n", static_cast<long long>(offered));
   out += StrFormat("  \"admitted\": %lld,\n", static_cast<long long>(admitted));
   out += StrFormat("  \"rejected\": %lld,\n", static_cast<long long>(rejected));
@@ -54,14 +55,29 @@ std::string ServingMetrics::ToJson() const {
                    static_cast<long long>(cache.bytes),
                    static_cast<long long>(cache.miss_cost_ns),
                    static_cast<long long>(cache.saved_ns));
+  if (!cache_by_kind.empty()) {
+    out += "  \"cache_by_kind\": [\n";
+    for (size_t i = 0; i < cache_by_kind.size(); ++i) {
+      const KindCacheStats& k = cache_by_kind[i];
+      out += StrFormat("    {\"kind\": \"%s\", \"hits\": %lld, "
+                       "\"misses\": %lld, \"compiles\": %lld}%s\n",
+                       k.kind.c_str(), static_cast<long long>(k.hits),
+                       static_cast<long long>(k.misses),
+                       static_cast<long long>(k.compiles),
+                       i + 1 < cache_by_kind.size() ? "," : "");
+    }
+    out += "  ],\n";
+  }
   out += "  \"socs\": [\n";
   for (size_t i = 0; i < socs.size(); ++i) {
     const SocStats& s = socs[i];
-    out += StrFormat("    {\"soc\": %d, \"inferences\": %lld, "
+    out += StrFormat("    {\"soc\": %d, \"kind\": \"%s\", "
+                     "\"inferences\": %lld, "
                      "\"simulated_cycles\": %lld, \"busy_us\": %.1f, "
                      "\"utilization\": %.4f, \"health\": \"%s\", "
                      "\"failures\": %lld}%s\n",
-                     s.soc, static_cast<long long>(s.inferences),
+                     s.soc, s.kind.c_str(),
+                     static_cast<long long>(s.inferences),
                      static_cast<long long>(s.simulated_cycles), s.busy_us,
                      s.utilization, s.health.c_str(),
                      static_cast<long long>(s.failures),

@@ -16,6 +16,7 @@ namespace htvm::serve {
 
 struct SocStats {
   int soc = 0;
+  std::string kind = "diana";  // SocDescription name of this instance
   i64 inferences = 0;        // requests actually executed on this instance
   i64 simulated_cycles = 0;  // accumulated from real Executor runs
   double busy_us = 0;        // scheduler-side simulated busy time
@@ -43,7 +44,20 @@ struct CompileCacheStats {
   i64 saved_ns = 0;      // pass-pipeline time avoided by hits
 };
 
+// Compile-cache deltas attributable to one SoC kind's registrations: how
+// many per-kind compiles the heterogeneous fleet actually paid vs. served
+// from cache (the per-target warm-start proof in the CI smoke).
+struct KindCacheStats {
+  std::string kind;
+  i64 hits = 0;
+  i64 misses = 0;
+  i64 compiles = 0;
+};
+
 struct ServingMetrics {
+  // Placement policy the fleet scheduler ran with (PlacementPolicyName).
+  std::string placement = "model-aware";
+
   // Request accounting. offered = admitted + rejected; served counts
   // requests actually executed by the worker pool (== admitted when the
   // run drains cleanly).
@@ -86,6 +100,9 @@ struct ServingMetrics {
 
   // Fleet-wide compile cache (zeros with enabled=false when unused).
   CompileCacheStats cache;
+  // Per-SoC-kind registration cache deltas (empty unless models were
+  // compiled through the cache on a SoC-kinded fleet).
+  std::vector<KindCacheStats> cache_by_kind;
 
   std::vector<SocStats> socs;
 

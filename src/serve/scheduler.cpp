@@ -17,14 +17,32 @@ const char* SocHealthName(SocHealth health) {
   return "?";
 }
 
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kModelAware:
+      return "model-aware";
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kEarliestFree:
+      return "earliest-free";
+  }
+  return "?";
+}
+
 FleetScheduler::FleetScheduler(SchedulerOptions options)
     : options_(options),
+      kinds_(options.soc_kinds),
       soc_free_us_(static_cast<size_t>(options.fleet_size), 0.0),
       soc_busy_us_(static_cast<size_t>(options.fleet_size), 0.0),
       health_(static_cast<size_t>(options.fleet_size)) {
   HTVM_CHECK(options_.fleet_size > 0);
   HTVM_CHECK(options_.queue_capacity > 0);
   HTVM_CHECK(options_.max_batch > 0);
+  if (kinds_.empty()) {
+    kinds_.assign(static_cast<size_t>(options_.fleet_size), "diana");
+  }
+  HTVM_CHECK_MSG(static_cast<int>(kinds_.size()) == options_.fleet_size,
+                 "soc_kinds must have one entry per fleet member");
   if (options_.faults != nullptr) {
     // Retry timing must advance the simulated clock, or the attempt loop
     // could revisit the same instant forever.
@@ -46,6 +64,111 @@ int FleetScheduler::EarliestLiveSoc() const {
     }
   }
   return best;
+}
+
+void FleetScheduler::SetModelTiming(int model, const std::string& soc_kind,
+                                    double service_us,
+                                    double batch_saving_us) {
+  HTVM_CHECK(model >= 0);
+  if (static_cast<size_t>(model) >= timing_.size()) {
+    timing_.resize(static_cast<size_t>(model) + 1);
+  }
+  std::vector<TimingEntry>& entries = timing_[static_cast<size_t>(model)];
+  if (entries.empty()) {
+    entries.resize(static_cast<size_t>(options_.fleet_size));
+  }
+  bool matched = false;
+  for (int s = 0; s < options_.fleet_size; ++s) {
+    if (kinds_[static_cast<size_t>(s)] != soc_kind) continue;
+    entries[static_cast<size_t>(s)] = TimingEntry{service_us, batch_saving_us};
+    matched = true;
+  }
+  HTVM_CHECK_MSG(matched, "SetModelTiming: no fleet member of that SoC kind");
+}
+
+bool FleetScheduler::HasModelTiming(int model) const {
+  return model >= 0 && static_cast<size_t>(model) < timing_.size() &&
+         !timing_[static_cast<size_t>(model)].empty();
+}
+
+double FleetScheduler::PredictedServiceUs(int model, int soc) const {
+  if (!HasModelTiming(model)) return -1;
+  return timing_[static_cast<size_t>(model)][static_cast<size_t>(soc)]
+      .service_us;
+}
+
+bool FleetScheduler::AvailableOn(int model, int soc) const {
+  if (!HasModelTiming(model)) return true;
+  return PredictedServiceUs(model, soc) >= 0;
+}
+
+double FleetScheduler::BatchTotalUs(int model, int soc, int n,
+                                    double untimed_total_us) const {
+  if (!HasModelTiming(model)) return untimed_total_us;
+  const TimingEntry& t =
+      timing_[static_cast<size_t>(model)][static_cast<size_t>(soc)];
+  return t.service_us +
+         static_cast<double>(n - 1) *
+             std::max(0.0, t.service_us - t.saving_us);
+}
+
+int FleetScheduler::ChooseSoc(int model, double arrival_us) {
+  if (options_.placement == PlacementPolicy::kRoundRobin) {
+    bool any_live = false;
+    for (int i = 0; i < options_.fleet_size; ++i) {
+      const int s = (rr_cursor_ + i) % options_.fleet_size;
+      if (Dead(s)) continue;
+      any_live = true;
+      if (!AvailableOn(model, s)) continue;
+      rr_cursor_ = (s + 1) % options_.fleet_size;
+      return s;
+    }
+    return any_live ? -2 : -1;
+  }
+  return ChooseSocForRedispatch(model, arrival_us);
+}
+
+int FleetScheduler::ChooseSocForRedispatch(int model,
+                                           double not_before_us) const {
+  bool any_live = false;
+  int best = -1;
+  if (options_.placement == PlacementPolicy::kModelAware &&
+      HasModelTiming(model)) {
+    // Minimize predicted completion (max(free, ready) + per-kind service);
+    // tie-break on earlier free time, then lower index. With uniform
+    // per-kind timing this reduces exactly to the earliest-free branch
+    // below — the pre-SoC-family behavior, which the serve determinism
+    // tests pin down.
+    double best_completion = 0;
+    double best_free = 0;
+    for (int s = 0; s < options_.fleet_size; ++s) {
+      if (Dead(s)) continue;
+      any_live = true;
+      const double service = PredictedServiceUs(model, s);
+      if (service < 0) continue;
+      const double free = soc_free_us_[static_cast<size_t>(s)];
+      const double completion = std::max(free, not_before_us) + service;
+      if (best < 0 || completion < best_completion ||
+          (completion == best_completion && free < best_free)) {
+        best = s;
+        best_completion = completion;
+        best_free = free;
+      }
+    }
+    return best >= 0 ? best : (any_live ? -2 : -1);
+  }
+  // Earliest-free among live SoCs with the model (== EarliestLiveSoc for
+  // untimed models); a retry never consumes the round-robin rotation.
+  for (int s = 0; s < options_.fleet_size; ++s) {
+    if (Dead(s)) continue;
+    any_live = true;
+    if (!AvailableOn(model, s)) continue;
+    if (best < 0 || soc_free_us_[static_cast<size_t>(s)] <
+                        soc_free_us_[static_cast<size_t>(best)]) {
+      best = s;
+    }
+  }
+  return best >= 0 ? best : (any_live ? -2 : -1);
 }
 
 void FleetScheduler::Occupy(int soc, double from_us, double to_us) {
@@ -82,22 +205,28 @@ void FleetScheduler::RecordFailure(int soc, double t_us) {
 }
 
 bool FleetScheduler::SimulateAttempts(ScheduledBatch* batch, int soc,
-                                      double start_us, double service_us) {
+                                      double start_us,
+                                      double untimed_total_us) {
   const hw::FaultInjector* fi = options_.faults;
   const RetryPolicy& rp = options_.retry;
+  const int n = static_cast<int>(batch->requests.size());
   int attempts_on_soc = 0;
   double backoff = rp.backoff_base_us;
+  double service_us = BatchTotalUs(batch->model, soc, n, untimed_total_us);
 
-  // Moves the batch to the earliest-free surviving SoC, not before
-  // `not_before_us`. Returns false when the whole fleet is dead.
+  // Moves the batch to a surviving SoC picked by the placement policy
+  // (earliest-free for untimed models — the original behavior), not before
+  // `not_before_us`, and re-prices it for the new SoC kind. Returns false
+  // when no surviving SoC can run the batch.
   const auto redispatch = [&](double not_before_us) {
-    const int next = EarliestLiveSoc();
+    const int next = ChooseSocForRedispatch(batch->model, not_before_us);
     if (next < 0) return false;
     if (next != soc) ++redispatches_;
     soc = next;
     attempts_on_soc = 0;
     backoff = rp.backoff_base_us;
     start_us = std::max(soc_free_us_[static_cast<size_t>(soc)], not_before_us);
+    service_us = BatchTotalUs(batch->model, soc, n, untimed_total_us);
     return true;
   };
 
@@ -158,14 +287,24 @@ bool FleetScheduler::SimulateAttempts(ScheduledBatch* batch, int soc,
 void FleetScheduler::DispatchUpTo(double now_us,
                                   std::vector<ScheduledBatch>* out) {
   while (!pending_.empty()) {
-    const int soc = EarliestLiveSoc();
-    if (soc < 0) return;  // whole fleet dead; Flush accounts the losses
-    const double start = std::max(soc_free_us_[static_cast<size_t>(soc)],
-                                  pending_.front().request.arrival_us);
+    const int model = pending_.front().request.model;
+    const double arrival = pending_.front().request.arrival_us;
+    const int soc = ChooseSoc(model, arrival);
+    if (soc == -1) return;  // whole fleet dead; Flush accounts the losses
+    if (soc == -2) {
+      // Live SoCs exist, but none of their kinds has this model — the
+      // request can never run (counted as lost, like a fleet-death strand,
+      // never silently dropped).
+      ++lost_;
+      pending_.pop_front();
+      continue;
+    }
+    const double start =
+        std::max(soc_free_us_[static_cast<size_t>(soc)], arrival);
     if (start > now_us) break;
 
     ScheduledBatch batch;
-    batch.model = pending_.front().request.model;
+    batch.model = model;
     double total_us = 0;
     while (!pending_.empty() &&
            static_cast<int>(batch.requests.size()) < options_.max_batch &&
@@ -181,14 +320,19 @@ void FleetScheduler::DispatchUpTo(double now_us,
     }
 
     if (!SimulateAttempts(&batch, soc, start, total_us)) {
-      // Every SoC died while the batch was retrying: the requests are lost
-      // (counted, never silently dropped) and nothing else can dispatch.
+      // Every SoC that could run the batch died while it was retrying: the
+      // requests are lost (counted, never silently dropped) and nothing
+      // else of this model can dispatch.
       lost_ += static_cast<i64>(batch.requests.size());
       return;
     }
+    const double final_service = PredictedServiceUs(model, batch.soc);
     for (ScheduledRequest& r : batch.requests) {
       r.start_us = batch.start_us;
       r.done_us = batch.done_us;
+      // Standalone service time on the SoC that actually ran the batch
+      // (untimed models keep their offered value).
+      if (final_service >= 0) r.service_us = final_service;
     }
 
     makespan_us_ = std::max(makespan_us_, batch.done_us);
@@ -219,6 +363,16 @@ bool FleetScheduler::Offer(const InferRequest& request, double service_us,
   depth_sum_ += static_cast<double>(pending_.size());
   ++depth_samples_;
   return true;
+}
+
+bool FleetScheduler::Offer(const InferRequest& request,
+                           std::vector<ScheduledBatch>* dispatched) {
+  HTVM_CHECK_MSG(HasModelTiming(request.model),
+                 "Offer without SetModelTiming for this model");
+  // The per-request fallback values are never read for timed models; the
+  // timing table prices every batch.
+  return Offer(request, /*service_us=*/0.0, /*batch_saving_us=*/0.0,
+               dispatched);
 }
 
 std::vector<ScheduledBatch> FleetScheduler::Flush() {

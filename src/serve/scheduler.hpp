@@ -8,9 +8,12 @@
 // then applies admission control: if the FIFO is at capacity the request is
 // rejected (the caller surfaces a typed ResourceExhausted status).
 //
-// Dispatch pops from the FIFO head onto the earliest-free *live* SoC;
-// consecutive same-model requests that have already arrived by the batch's
-// start time coalesce into one micro-batch (up to `max_batch`), saving
+// Dispatch pops from the FIFO head onto a *live* SoC picked by the
+// placement policy — by default the SoC whose kind predicts the earliest
+// completion for the request's model (PlacementPolicy::kModelAware; on a
+// homogeneous fleet this is exactly the earliest-free SoC). Consecutive
+// same-model requests that have already arrived by the batch's start time
+// coalesce into one micro-batch (up to `max_batch`), saving
 // `batch_saving_us` of runtime dispatch overhead for every request after
 // the first.
 //
@@ -34,6 +37,7 @@
 #pragma once
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "hw/fault.hpp"
@@ -53,6 +57,19 @@ struct RetryPolicy {
 enum class SocHealth : u8 { kHealthy, kDegraded, kDead };
 const char* SocHealthName(SocHealth health);
 
+// How a dispatching batch picks its SoC.
+//
+//   kModelAware   minimize predicted completion (max(free, arrival) +
+//                 per-(model, SoC-kind) service time), breaking ties by
+//                 earlier free time then lower index. For a homogeneous
+//                 fleet (or a model with no per-kind timing) this reduces
+//                 exactly to kEarliestFree — the pre-SoC-family behavior.
+//   kRoundRobin   cycle through live SoCs regardless of predicted latency
+//                 (the baseline bench_serving --check compares against).
+//   kEarliestFree earliest-free live SoC that can run the model.
+enum class PlacementPolicy : u8 { kModelAware, kRoundRobin, kEarliestFree };
+const char* PlacementPolicyName(PlacementPolicy policy);
+
 // Per-SoC health as observed by the scheduler. `kDegraded` is sticky: a SoC
 // that ever absorbed a fault (and survived) stays marked for the final
 // report even when later attempts succeed.
@@ -71,6 +88,10 @@ struct SchedulerOptions {
   int max_batch = 1;        // 1 = micro-batching off
   const hw::FaultInjector* faults = nullptr;  // nullptr = no injection
   RetryPolicy retry;
+  // SoC kind (SocDescription name) per fleet index. Empty = homogeneous
+  // "diana" fleet; otherwise must have exactly fleet_size entries.
+  std::vector<std::string> soc_kinds;
+  PlacementPolicy placement = PlacementPolicy::kModelAware;
 };
 
 struct ScheduledRequest {
@@ -112,6 +133,26 @@ class FleetScheduler {
   bool Offer(const InferRequest& request, double service_us,
              double batch_saving_us, std::vector<ScheduledBatch>* dispatched);
 
+  // Timing-table form: the request's per-SoC service times were registered
+  // up front with SetModelTiming (required — checked). This is what the
+  // model-aware placement policy keys on.
+  bool Offer(const InferRequest& request,
+             std::vector<ScheduledBatch>* dispatched);
+
+  // Registers the predicted timing of `model` on every fleet member of
+  // `soc_kind` (at least one must exist). Fleet members of kinds never
+  // registered for this model cannot run it and are skipped by placement.
+  // Must be called before the model's first Offer.
+  void SetModelTiming(int model, const std::string& soc_kind,
+                      double service_us, double batch_saving_us);
+  bool HasModelTiming(int model) const;
+  // Predicted standalone service time of `model` on fleet index `soc`;
+  // negative when the model is unavailable there (or untimed). The
+  // placement property test recomputes the argmin from these.
+  double PredictedServiceUs(int model, int soc) const;
+  // Resolved per-index SoC kinds (fleet_size entries).
+  const std::vector<std::string>& soc_kinds() const { return kinds_; }
+
   // Dispatches everything still pending (end of trace). Requests that
   // cannot run because the whole fleet died are counted as lost.
   std::vector<ScheduledBatch> Flush();
@@ -146,13 +187,31 @@ class FleetScheduler {
 
   void DispatchUpTo(double now_us, std::vector<ScheduledBatch>* out);
   // Simulates the batch's attempts against the fault plan starting on
-  // `soc` at `start_us`; fills the batch's final soc/start/done and its
-  // failed-attempt log. Returns false when every SoC died before the batch
-  // could complete (the batch's requests are lost).
+  // `soc` at `start_us`; the batch's service time is recomputed per
+  // attempt from the timing table (a re-dispatch onto a different SoC kind
+  // changes it), falling back to `untimed_total_us` for untimed models.
+  // Fills the batch's final soc/start/done and its failed-attempt log.
+  // Returns false when no SoC that can run the batch survived (the batch's
+  // requests are lost).
   bool SimulateAttempts(ScheduledBatch* batch, int soc, double start_us,
-                        double service_us);
+                        double untimed_total_us);
   // Earliest-free SoC among the still-live ones; -1 when all are dead.
   int EarliestLiveSoc() const;
+  // Placement for the batch headed by `model` arriving at `arrival_us`:
+  // fleet index, or -1 when the whole fleet is dead, or -2 when live SoCs
+  // exist but none of their kinds has the model.
+  int ChooseSoc(int model, double arrival_us);
+  // Re-placement after a failure: model-aware when that policy is active,
+  // earliest-free otherwise (a retry never consumes the round-robin
+  // rotation). Same return convention as ChooseSoc.
+  int ChooseSocForRedispatch(int model, double not_before_us) const;
+  // Whether fleet index `soc`'s kind can run `model` (untimed models run
+  // anywhere).
+  bool AvailableOn(int model, int soc) const;
+  // Coalesced service time of an n-request batch of `model` on `soc`;
+  // `untimed_total_us` is the caller-accumulated total for untimed models.
+  double BatchTotalUs(int model, int soc, int n,
+                      double untimed_total_us) const;
   bool Dead(int soc) const {
     return health_[static_cast<size_t>(soc)].health == SocHealth::kDead;
   }
@@ -162,7 +221,17 @@ class FleetScheduler {
   // Counts a transient failure; trips the circuit breaker at the threshold.
   void RecordFailure(int soc, double t_us);
 
+  struct TimingEntry {
+    double service_us = -1;  // negative = model unavailable on this SoC
+    double saving_us = 0;
+  };
+
   SchedulerOptions options_;
+  std::vector<std::string> kinds_;  // per fleet index, resolved
+  // timing_[model] is empty (untimed, legacy uniform-service path) or has
+  // one entry per fleet index.
+  std::vector<std::vector<TimingEntry>> timing_;
+  int rr_cursor_ = 0;  // next round-robin fleet index
   std::vector<double> soc_free_us_;
   std::vector<double> soc_busy_us_;
   std::vector<SocHealthState> health_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/artifact_cache.hpp"
+#include "hw/soc.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
@@ -25,21 +26,52 @@ SchedulerOptions MakeSchedulerOptions(const ServerOptions& options,
   so.max_batch = options.max_batch;
   so.faults = options.chaos.enabled ? faults : nullptr;
   so.retry = options.chaos.retry;
+  so.soc_kinds = options.soc_kinds;
+  so.placement = options.placement;
   return so;
+}
+
+std::vector<std::string> ResolveKinds(const ServerOptions& options) {
+  if (options.soc_kinds.empty()) {
+    return std::vector<std::string>(static_cast<size_t>(options.fleet_size),
+                                    "diana");
+  }
+  HTVM_CHECK_MSG(
+      static_cast<int>(options.soc_kinds.size()) == options.fleet_size,
+      "soc_kinds must have one entry per fleet member");
+  return options.soc_kinds;
 }
 
 }  // namespace
 
 InferenceServer::InferenceServer(ServerOptions options)
     : options_(options),
+      kinds_(ResolveKinds(options)),
       faults_(MakeInjector(options)),
       scheduler_(MakeSchedulerOptions(options, &faults_)),
-      fleet_(options.fleet_size),
+      fleet_(kinds_),
       // The exec queue throttles the (real-time) submitter against the
       // (real-time) workers; admission control happened already, so Push
       // blocks instead of dropping.
       exec_queue_(256) {
   HTVM_CHECK(options_.fleet_size > 0);
+  for (const std::string& kind : kinds_) {
+    if (std::find(distinct_kinds_.begin(), distinct_kinds_.end(), kind) ==
+        distinct_kinds_.end()) {
+      distinct_kinds_.push_back(kind);
+    }
+  }
+}
+
+const InferenceServer::KindExecution& InferenceServer::ExecutionFor(
+    const ModelEntry& entry, int soc) const {
+  const std::string& kind = kinds_[static_cast<size_t>(soc)];
+  for (const KindExecution& ke : entry.kinds) {
+    if (ke.kind == kind) return ke;
+  }
+  // Unreachable: the scheduler never places a model on a kind without it.
+  HTVM_CHECK_MSG(false, "no execution state for this SoC kind");
+  return entry.kinds.front();
 }
 
 InferenceServer::~InferenceServer() {
@@ -49,6 +81,57 @@ InferenceServer::~InferenceServer() {
   }
 }
 
+Result<int> InferenceServer::RegisterKinds(
+    std::string name,
+    std::vector<
+        std::pair<std::string, std::shared_ptr<const compiler::Artifact>>>
+        per_kind,
+    u64 input_seed) {
+  HTVM_CHECK_MSG(!started_, "RegisterModel must precede Start");
+  HTVM_CHECK(!per_kind.empty());
+
+  ModelEntry entry;
+  entry.name = std::move(name);
+
+  // Inputs are synthesized once from the first kind's kernel graph (input
+  // nodes are the network's, identical across kinds) so every kind's
+  // reference and every worker run read the same tensors.
+  Rng rng(input_seed ^ (models_.size() * 0x9E3779B97F4A7C15ull));
+  const Graph& g0 = per_kind.front().second->kernel_graph;
+  for (NodeId id : g0.inputs()) {
+    const Node& n = g0.node(id);
+    entry.inputs.push_back(Tensor::Random(n.type.shape, n.type.dtype, rng));
+  }
+
+  const int model = static_cast<int>(models_.size());
+  for (auto& [kind, artifact] : per_kind) {
+    if (options_.executor.enforce_memory && !artifact->memory_plan.fits) {
+      return Status::ResourceExhausted("RegisterModel: artifact '" +
+                                       entry.name + "' does not fit in L2 on " +
+                                       kind);
+    }
+    KindExecution ke;
+    ke.kind = kind;
+    ke.artifact = std::move(artifact);
+    ke.executor = std::make_unique<runtime::Executor>(ke.artifact.get(),
+                                                      options_.executor);
+    const compiler::Artifact& art = *ke.artifact;
+    ke.service_us = art.hw_config.CyclesToUs(art.TotalFullCycles());
+    ke.batch_saving_us = art.hw_config.CyclesToUs(
+        art.hw_config.runtime_call_overhead *
+        static_cast<i64>(art.kernels.size()));
+    auto reference = ke.executor->Run(entry.inputs);
+    if (!reference.ok()) return reference.status();
+    ke.reference = std::move(reference.value().outputs);
+    scheduler_.SetModelTiming(model, ke.kind, ke.service_us,
+                              ke.batch_saving_us);
+    entry.kinds.push_back(std::move(ke));
+  }
+
+  models_.push_back(std::move(entry));
+  return model;
+}
+
 Result<int> InferenceServer::RegisterModel(
     std::string name, std::shared_ptr<const compiler::Artifact> artifact,
     u64 input_seed) {
@@ -56,49 +139,62 @@ Result<int> InferenceServer::RegisterModel(
   if (artifact == nullptr) {
     return Status::InvalidArgument("RegisterModel: null artifact");
   }
-  if (options_.executor.enforce_memory && !artifact->memory_plan.fits) {
-    return Status::ResourceExhausted(
-        "RegisterModel: artifact '" + name + "' does not fit in L2");
+  // A pre-compiled artifact serves exactly the fleet kinds matching the
+  // SoC it was compiled for.
+  std::vector<
+      std::pair<std::string, std::shared_ptr<const compiler::Artifact>>>
+      per_kind;
+  for (const std::string& kind : distinct_kinds_) {
+    if (kind == artifact->soc_name) per_kind.emplace_back(kind, artifact);
   }
-
-  ModelEntry entry;
-  entry.name = std::move(name);
-  entry.artifact = std::move(artifact);
-  entry.executor = std::make_unique<runtime::Executor>(entry.artifact.get(),
-                                                       options_.executor);
-  const compiler::Artifact& art = *entry.artifact;
-  entry.service_us = art.hw_config.CyclesToUs(art.TotalFullCycles());
-  entry.batch_saving_us = art.hw_config.CyclesToUs(
-      art.hw_config.runtime_call_overhead *
-      static_cast<i64>(art.kernels.size()));
-
-  Rng rng(input_seed ^ (models_.size() * 0x9E3779B97F4A7C15ull));
-  const Graph& g = art.kernel_graph;
-  for (NodeId id : g.inputs()) {
-    const Node& n = g.node(id);
-    entry.inputs.push_back(Tensor::Random(n.type.shape, n.type.dtype, rng));
+  if (per_kind.empty()) {
+    std::string kinds;
+    for (const std::string& kind : distinct_kinds_) {
+      if (!kinds.empty()) kinds += ", ";
+      kinds += kind;
+    }
+    return Status::InvalidArgument(
+        "RegisterModel: artifact '" + name + "' was compiled for SoC '" +
+        artifact->soc_name + "' but the fleet has only [" + kinds + "]");
   }
-  auto reference = entry.executor->Run(entry.inputs);
-  if (!reference.ok()) return reference.status();
-  entry.reference = std::move(reference.value().outputs);
-
-  models_.push_back(std::move(entry));
-  return static_cast<int>(models_.size()) - 1;
+  return RegisterKinds(std::move(name), std::move(per_kind), input_seed);
 }
 
 Result<int> InferenceServer::RegisterModel(
     std::string name, const Graph& network,
     const compiler::CompileOptions& compile_options, u64 input_seed) {
-  compiler::CompileOptions options = compile_options;
-  options.cache = &cache::GlobalArtifactCache();
-  compiler::HtvmCompiler compiler(options);
-  auto artifact = compiler.Compile(network);
-  if (!artifact.ok()) return artifact.status();
+  HTVM_CHECK_MSG(!started_, "RegisterModel must precede Start");
   used_compile_cache_ = true;
-  return RegisterModel(
-      std::move(name),
-      std::make_shared<const compiler::Artifact>(std::move(*artifact)),
-      input_seed);
+  if (kind_cache_.empty()) {
+    for (const std::string& kind : distinct_kinds_) {
+      kind_cache_.push_back(KindCacheStats{kind, 0, 0, 0});
+    }
+  }
+  // One compile per distinct fleet kind, each through the process-wide
+  // cache under its own SoC-fingerprinted key; the stat deltas around each
+  // compile attribute hits/misses/compiles to the kind.
+  std::vector<
+      std::pair<std::string, std::shared_ptr<const compiler::Artifact>>>
+      per_kind;
+  for (size_t k = 0; k < distinct_kinds_.size(); ++k) {
+    const std::string& kind = distinct_kinds_[k];
+    compiler::CompileOptions options = compile_options;
+    HTVM_ASSIGN_OR_RETURN(soc, hw::FindSoc(kind));
+    options.soc = soc;
+    options.cache = &cache::GlobalArtifactCache();
+    const cache::CacheStats before = cache::GlobalArtifactCache().stats();
+    compiler::HtvmCompiler compiler(options);
+    auto artifact = compiler.Compile(network);
+    if (!artifact.ok()) return artifact.status();
+    const cache::CacheStats after = cache::GlobalArtifactCache().stats();
+    kind_cache_[k].hits += after.hits - before.hits;
+    kind_cache_[k].misses += after.misses - before.misses;
+    kind_cache_[k].compiles += after.compiles - before.compiles;
+    per_kind.emplace_back(
+        kind,
+        std::make_shared<const compiler::Artifact>(std::move(*artifact)));
+  }
+  return RegisterKinds(std::move(name), std::move(per_kind), input_seed);
 }
 
 void InferenceServer::Start() {
@@ -119,15 +215,12 @@ Status InferenceServer::Submit(int model, double arrival_us) {
     return Status::InvalidArgument(
         StrFormat("Submit: unknown model handle %d", model));
   }
-  const ModelEntry& entry = models_[static_cast<size_t>(model)];
-
   std::vector<ScheduledBatch> dispatched;
   bool admitted;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const InferRequest request{next_id_++, model, arrival_us};
-    admitted = scheduler_.Offer(request, entry.service_us,
-                                entry.batch_saving_us, &dispatched);
+    admitted = scheduler_.Offer(request, &dispatched);
     for (const ScheduledBatch& batch : dispatched) {
       for (const ScheduledRequest& r : batch.requests) {
         latency_.Record(r.done_us - r.request.arrival_us);
@@ -165,6 +258,7 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
   workers_.clear();
 
   ServingMetrics m;
+  m.placement = PlacementPolicyName(options_.placement);
   m.offered = scheduler_.offered();
   m.admitted = scheduler_.admitted();
   m.rejected = scheduler_.rejected();
@@ -210,6 +304,7 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
     m.cache.bytes = cs.bytes;
     m.cache.miss_cost_ns = cs.miss_cost_ns;
     m.cache.saved_ns = cs.saved_ns;
+    m.cache_by_kind = kind_cache_;
   }
 
   const double makespan_us = scheduler_.makespan_us();
@@ -218,6 +313,7 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
   for (int s = 0; s < fleet_.size(); ++s) {
     SocStats stats;
     stats.soc = s;
+    stats.kind = fleet_.at(s).kind();
     stats.inferences = fleet_.at(s).inferences();
     stats.simulated_cycles = fleet_.at(s).simulated_cycles();
     stats.busy_us = busy[static_cast<size_t>(s)];
@@ -232,7 +328,7 @@ ServingMetrics InferenceServer::Drain(double duration_s) {
 void InferenceServer::WorkerLoop() {
   const bool chaos = options_.chaos.enabled;
   while (auto batch = exec_queue_.Pop()) {
-    const ModelEntry& entry = models_[static_cast<size_t>(batch->model)];
+    const ModelEntry& model_entry = models_[static_cast<size_t>(batch->model)];
     // Replay the failed attempts the scheduler logged: each one drives
     // Executor::Run with the attempt's simulated (soc, window) so the
     // runtime consults the same fault plan and fails with the same typed
@@ -242,7 +338,8 @@ void InferenceServer::WorkerLoop() {
     for (const BatchAttempt& attempt : batch->failed_attempts) {
       const runtime::RunContext ctx{&faults_, attempt.soc, attempt.start_us,
                                     attempt.end_us};
-      auto injected = entry.executor->Run(entry.inputs, &ctx);
+      const KindExecution& ke = ExecutionFor(model_entry, attempt.soc);
+      auto injected = ke.executor->Run(model_entry.inputs, &ctx);
       if (injected.ok() ||
           injected.status().code() != StatusCode::kUnavailable) {
         HTVM_ELOG << "serve: injected fault on soc " << attempt.soc
@@ -255,9 +352,10 @@ void InferenceServer::WorkerLoop() {
     const runtime::RunContext final_ctx{&faults_, batch->soc, batch->start_us,
                                         batch->done_us};
     SocInstance& soc = fleet_.at(batch->soc);
+    const KindExecution& final_ke = ExecutionFor(model_entry, batch->soc);
     for (size_t i = 0; i < batch->requests.size(); ++i) {
-      auto result = entry.executor->Run(entry.inputs,
-                                        chaos ? &final_ctx : nullptr);
+      auto result = final_ke.executor->Run(model_entry.inputs,
+                                           chaos ? &final_ctx : nullptr);
       if (!result.ok()) {
         HTVM_ELOG << "serve: execution failed on soc " << soc.id() << ": "
                   << result.status().ToString();
@@ -265,9 +363,9 @@ void InferenceServer::WorkerLoop() {
         continue;
       }
       if (options_.verify_outputs) {
-        bool match = result->outputs.size() == entry.reference.size();
-        for (size_t o = 0; match && o < entry.reference.size(); ++o) {
-          match = result->outputs[o].SameAs(entry.reference[o]);
+        bool match = result->outputs.size() == final_ke.reference.size();
+        for (size_t o = 0; match && o < final_ke.reference.size(); ++o) {
+          match = result->outputs[o].SameAs(final_ke.reference[o]);
         }
         if (!match) output_mismatches_.fetch_add(1);
       }

@@ -58,6 +58,12 @@ struct ServerOptions {
   bool verify_outputs = false;
   runtime::ExecutorOptions executor;
   ChaosOptions chaos;
+  // SoC kind (SocDescription name) per fleet index. Empty = homogeneous
+  // "diana" fleet of fleet_size; otherwise must have exactly fleet_size
+  // entries. Models are compiled/registered per distinct kind, and the
+  // scheduler places each request by per-kind predicted latency.
+  std::vector<std::string> soc_kinds;
+  PlacementPolicy placement = PlacementPolicy::kModelAware;
 };
 
 class InferenceServer {
@@ -71,6 +77,9 @@ class InferenceServer {
   // Registers a compiled model before Start(). Deterministic sample inputs
   // are synthesized from `input_seed`, and a single-threaded reference run
   // captures the expected outputs. Returns the model handle for Submit.
+  // On a heterogeneous fleet the artifact is installed on the fleet kinds
+  // matching its soc_name only (the model is unavailable elsewhere);
+  // InvalidArgument when no fleet kind matches.
   Result<int> RegisterModel(std::string name,
                             std::shared_ptr<const compiler::Artifact> artifact,
                             u64 input_seed = 0x5EEDull);
@@ -78,8 +87,11 @@ class InferenceServer {
   // Compiles `network` with `compile_options` through the process-wide
   // ArtifactCache (cache::GlobalArtifactCache) and registers the result: N
   // workers serving the same model compile once, and a persisted cache
-  // (--cache-dir) makes a restarted fleet compile nothing. The cache's
-  // hit/miss/evict counters and saved compile time land in
+  // (--cache-dir) makes a restarted fleet compile nothing. On a
+  // heterogeneous fleet the network is compiled once per distinct SoC kind
+  // (each a separate cache entry keyed by the SoC fingerprint), and
+  // per-kind cache deltas land in ServingMetrics::cache_by_kind. The
+  // cache's hit/miss/evict counters and saved compile time land in
   // ServingMetrics::cache at Drain.
   Result<int> RegisterModel(std::string name, const Graph& network,
                             const compiler::CompileOptions& compile_options,
@@ -108,19 +120,23 @@ class InferenceServer {
   const std::string& model_name(int model) const {
     return models_[static_cast<size_t>(model)].name;
   }
-  // Standalone simulated service time of one request of `model`.
+  // Standalone simulated service time of one request of `model` on the
+  // first fleet kind serving it.
   double ServiceUs(int model) const {
-    return models_[static_cast<size_t>(model)].service_us;
+    return models_[static_cast<size_t>(model)].kinds.front().service_us;
   }
   // The generated fault plan (empty unless chaos is enabled).
   const hw::FaultInjector& faults() const { return faults_; }
 
  private:
-  struct ModelEntry {
-    std::string name;
+  // One model's execution state on one SoC kind: that kind's artifact, a
+  // shared executor, the kind-specific reference outputs (dispatch differs
+  // across kinds, so outputs can too), and the predicted timing the
+  // scheduler places by.
+  struct KindExecution {
+    std::string kind;
     std::shared_ptr<const compiler::Artifact> artifact;
     std::unique_ptr<runtime::Executor> executor;
-    std::vector<Tensor> inputs;     // deterministic sample inputs
     std::vector<Tensor> reference;  // single-threaded reference outputs
     double service_us = 0;
     // Runtime dispatch overhead a coalesced same-model request avoids: the
@@ -129,10 +145,32 @@ class InferenceServer {
     double batch_saving_us = 0;
   };
 
+  struct ModelEntry {
+    std::string name;
+    std::vector<Tensor> inputs;  // deterministic sample inputs, shared
+    std::vector<KindExecution> kinds;  // one per fleet kind with the model
+  };
+
+  // The model's execution state for the kind of fleet index `soc`.
+  const KindExecution& ExecutionFor(const ModelEntry& entry, int soc) const;
+  // Installs per-kind artifacts as one model: synthesizes inputs, runs
+  // per-kind references, registers scheduler timing.
+  Result<int> RegisterKinds(
+      std::string name,
+      std::vector<std::pair<std::string,
+                            std::shared_ptr<const compiler::Artifact>>>
+          per_kind,
+      u64 input_seed);
+
   void WorkerLoop();
 
   ServerOptions options_;
+  std::vector<std::string> kinds_;  // resolved per-index fleet kinds
+  std::vector<std::string> distinct_kinds_;  // fleet order, deduplicated
   std::vector<ModelEntry> models_;
+  // Per-kind compile-cache deltas accumulated across RegisterModel calls
+  // (graph overload only); indexed like distinct_kinds_.
+  std::vector<KindCacheStats> kind_cache_;
 
   // Immutable after construction; scheduler and workers share it. Must be
   // declared before scheduler_ (which keeps a pointer to it).

@@ -32,4 +32,12 @@ SocFleet::SocFleet(int size) {
   }
 }
 
+SocFleet::SocFleet(const std::vector<std::string>& kinds) {
+  HTVM_CHECK(!kinds.empty());
+  socs_.reserve(kinds.size());
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    socs_.push_back(std::make_unique<SocInstance>(static_cast<int>(i), kinds[i]));
+  }
+}
+
 }  // namespace htvm::serve

@@ -1,4 +1,5 @@
-// A fleet of simulated DIANA SoC instances.
+// A fleet of simulated SoC instances, possibly of mixed hardware
+// generations (SocDescription kinds, hw/soc.hpp).
 //
 // Each instance keeps its *own* accumulated counters — inference count,
 // simulated cycles, and a per-kernel hw::RunProfile aggregate — behind its
@@ -8,6 +9,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "hw/perf.hpp"
@@ -17,9 +19,12 @@ namespace htvm::serve {
 
 class SocInstance {
  public:
-  explicit SocInstance(int id) : id_(id) {}
+  explicit SocInstance(int id, std::string kind = "diana")
+      : id_(id), kind_(std::move(kind)) {}
 
   int id() const { return id_; }
+  // SocDescription name of this instance's hardware generation.
+  const std::string& kind() const { return kind_; }
 
   // Folds one completed inference into this instance's counters.
   void RecordRun(const runtime::ExecutionResult& result);
@@ -31,6 +36,7 @@ class SocInstance {
 
  private:
   const int id_;
+  const std::string kind_;
   mutable std::mutex mu_;
   i64 inferences_ = 0;
   i64 cycles_ = 0;
@@ -39,7 +45,10 @@ class SocInstance {
 
 class SocFleet {
  public:
+  // Homogeneous fleet of `size` "diana" instances.
   explicit SocFleet(int size);
+  // Heterogeneous fleet: one instance per entry of `kinds`.
+  explicit SocFleet(const std::vector<std::string>& kinds);
 
   int size() const { return static_cast<int>(socs_.size()); }
   SocInstance& at(int index) { return *socs_[static_cast<size_t>(index)]; }

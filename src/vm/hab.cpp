@@ -989,6 +989,12 @@ std::string SerializeHab(const compiler::Artifact& a, const HabMeta& meta) {
       [&](Writer& w) { WriteDispatch(w, a.dispatch_log); });
   add(HabSection::kGraph, [&](Writer& w) { WriteGraph(w, a.kernel_graph); });
   add(HabSection::kKernels, [&](Writer& w) { WriteKernels(w, a.kernels); });
+  // kSoc only for non-default SoCs: keeps "diana" HABs byte-identical to
+  // pre-SoC-family producers (and loadable by their readers, which skip
+  // unknown section ids).
+  if (a.soc_name != "diana") {
+    add(HabSection::kSoc, [&](Writer& w) { w.Str(a.soc_name); });
+  }
 
   // Lay out payloads 8-byte aligned after header + section table.
   const size_t table_bytes = sections.size() * kHabSectionEntryBytes;
@@ -1163,6 +1169,20 @@ Result<ParsedHab> ParseHab(std::span<const u8> data) {
     HTVM_ASSIGN_OR_RETURN(s, section(HabSection::kKernels));
     Reader r(s.data, s.size, "kernels");
     HTVM_RETURN_IF_ERROR(ReadKernels(r, a.kernel_graph, a.kernels));
+  }
+  // kSoc is optional: absent in every "diana" HAB (and everything produced
+  // before SoC families existed), where the member default applies.
+  {
+    const Span s = by_id[static_cast<u32>(HabSection::kSoc)];
+    if (s.data != nullptr) {
+      Reader r(s.data, s.size, "soc");
+      HTVM_ASSIGN_OR_RETURN(name, r.Str());
+      HTVM_RETURN_IF_ERROR(r.ExpectEnd());
+      if (name.empty()) {
+        return Status::InvalidArgument("hab: soc section names an empty SoC");
+      }
+      a.soc_name = name;
+    }
   }
   return parsed;
 }

@@ -62,6 +62,10 @@ enum class HabSection : u32 {
   kDispatch = 6,  // compiler::DispatchLog
   kGraph = 7,     // lowered kernel graph incl. constant payloads
   kKernels = 8,   // compiled kernels + perf + DORY schedules
+  // SoC identity (hw/soc.hpp). Written only for non-default SoCs, so
+  // "diana" HABs stay byte-identical to pre-SoC-family files; a missing
+  // section loads as "diana". Skipped (not rejected) by older readers.
+  kSoc = 9,       // SocDescription name the artifact was compiled for
 };
 
 // Producer-side metadata carried in the kMeta section; lets a runner or a

@@ -17,6 +17,7 @@ namespace {
 
 const char* kTool = "../tools/htvmc";
 const char* kServeTool = "../tools/htvm-serve";
+const char* kRunTool = "../tools/htvm-run";
 
 bool BinaryExists(const char* path) {
   std::ifstream f(path);
@@ -41,6 +42,10 @@ int RunTool(const std::string& args, std::string* out_path = nullptr) {
 int RunServe(const std::string& args, std::string* out_path = nullptr,
              const char* capture_name = "/htvm_serve_out.txt") {
   return RunBinary(kServeTool, args, out_path, capture_name);
+}
+
+int RunRun(const std::string& args, std::string* out_path = nullptr) {
+  return RunBinary(kRunTool, args, out_path, "/htvm_run_out.txt");
 }
 
 std::string ReadAll(const std::string& path) {
@@ -303,6 +308,68 @@ TEST(ServeCli, PrintsJsonMetricsDeterministically) {
         "\"cache\"", "\"compiles\": 1", "\"enabled\": true"}) {
     EXPECT_NE(a.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST(Cli, BadSocFailsListingFamilies) {
+  if (!ToolExists()) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunTool("--model resnet --soc not-a-soc", &out), 0);
+  const std::string text = ReadAll(out);
+  EXPECT_NE(text.find("not-a-soc"), std::string::npos);
+  EXPECT_NE(text.find("diana-l1half"), std::string::npos);
+}
+
+TEST(Cli, SocFlagIsRecordedAndEnforcedByRunner) {
+  if (!ToolExists() || !BinaryExists(kRunTool)) GTEST_SKIP();
+  const std::string hab = ::testing::TempDir() + "/cli_soc.hab";
+  std::string out;
+  ASSERT_EQ(RunTool("--model dscnn --config mixed --soc diana-l1half "
+                    "--emit-artifact " + hab, &out), 0);
+  EXPECT_NE(ReadAll(out).find("soc: diana-l1half"), std::string::npos);
+
+  // Matching runner deployment executes; --meta names the recorded SoC.
+  EXPECT_EQ(RunRun(hab + " --soc diana-l1half", &out), 0);
+  ASSERT_EQ(RunRun(hab + " --meta", &out), 0);
+  EXPECT_NE(ReadAll(out).find("soc: diana-l1half"), std::string::npos);
+
+  // A mismatched deployment refuses with a typed error naming both SoCs.
+  EXPECT_NE(RunRun(hab + " --soc diana", &out), 0);
+  const std::string mismatch = ReadAll(out);
+  EXPECT_NE(mismatch.find("UNSUPPORTED"), std::string::npos);
+  EXPECT_NE(mismatch.find("diana-l1half"), std::string::npos);
+  EXPECT_NE(mismatch.find("'diana'"), std::string::npos);
+
+  // Default-SoC artifacts load as diana and pass a diana deployment check.
+  const std::string diana_hab = ::testing::TempDir() + "/cli_diana.hab";
+  ASSERT_EQ(RunTool("--model dscnn --config mixed --emit-artifact " +
+                    diana_hab), 0);
+  EXPECT_EQ(RunRun(diana_hab + " --soc diana", &out), 0);
+}
+
+TEST(ServeCli, HeterogeneousFleetServesWithPerKindMetrics) {
+  if (!BinaryExists(kServeTool)) GTEST_SKIP();
+  std::string out;
+  ASSERT_EQ(RunServe("--model dscnn --config mixed --qps 100 "
+                     "--duration-s 0.1 --seed 7 --verify "
+                     "--fleet diana:1,diana-pe32:1",
+                     &out, "/serve_hetero.txt"), 0);
+  const std::string text = ReadAll(out);
+  // One compile per distinct SoC kind, each reported per kind.
+  EXPECT_NE(text.find("\"placement\": \"model-aware\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"diana\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"diana-pe32\""), std::string::npos);
+  EXPECT_NE(text.find("\"cache_by_kind\""), std::string::npos);
+  EXPECT_NE(text.find("\"output_mismatches\": 0"), std::string::npos);
+}
+
+TEST(ServeCli, BadFleetSpecFails) {
+  if (!BinaryExists(kServeTool)) GTEST_SKIP();
+  std::string out;
+  EXPECT_NE(RunServe("--model dscnn --fleet diana:1,bogus:2", &out,
+                     "/serve_badfleet.txt"), 0);
+  EXPECT_NE(ReadAll(out).find("bogus"), std::string::npos);
+  EXPECT_NE(RunServe("--model dscnn --placement sometimes", &out,
+                     "/serve_badplace.txt"), 0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "cache/artifact_cache.hpp"
 #include "cache/artifact_serialize.hpp"
 #include "compiler/pipeline.hpp"
+#include "hw/soc.hpp"
 #include "models/mlperf_tiny.hpp"
 #include "runtime/executor.hpp"
 #include "vm/hab.hpp"
@@ -73,11 +74,38 @@ TEST(Hab, SectionTableIsComplete) {
   auto parsed = ParseHab({reinterpret_cast<const u8*>(bytes.data()),
                           bytes.size()});
   ASSERT_TRUE(parsed.ok());
+  // A default-SoC (diana) artifact has no kSoc section: the byte format is
+  // identical to what pre-SoC-family writers produced.
   ASSERT_EQ(parsed->sections.size(), 8u);
   for (u32 id = 1; id <= 8; ++id) {
     EXPECT_EQ(parsed->sections[id - 1].id, id);
     EXPECT_EQ(parsed->sections[id - 1].offset % 8, 0) << "section " << id;
   }
+  EXPECT_EQ(parsed->artifact.soc_name, "diana");
+}
+
+TEST(Hab, SocIdentityRoundTrips) {
+  // A non-default SoC adds the kSoc section and survives the round trip
+  // bit-identically; the parsed artifact carries the SoC name the compiler
+  // recorded.
+  Graph g = models::BuildDsCnn(models::PrecisionPolicy::kMixed);
+  compiler::CompileOptions options;
+  options.soc = *hw::FindSoc("diana-l1half");
+  auto compiled = compiler::HtvmCompiler{options}.Compile(g);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->soc_name, "diana-l1half");
+
+  const std::string bytes = SerializeHab(*compiled);
+  auto parsed = ParseHab({reinterpret_cast<const u8*>(bytes.data()),
+                          bytes.size()});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->sections.size(), 9u);
+  EXPECT_EQ(parsed->sections.back().id,
+            static_cast<u32>(HabSection::kSoc));
+  EXPECT_EQ(parsed->artifact.soc_name, "diana-l1half");
+  EXPECT_EQ(SerializeHab(parsed->artifact, parsed->meta), bytes);
+  EXPECT_EQ(cache::SerializeArtifactForDiff(parsed->artifact),
+            cache::SerializeArtifactForDiff(*compiled));
 }
 
 TEST(Hab, FileRoundTripThroughLoader) {

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "hw/soc.hpp"
 #include "runtime/timeline.hpp"
 #include "support/string_utils.hpp"
 #include "vm/vm_executor.hpp"
@@ -25,6 +26,7 @@ struct CliOptions {
   std::string artifact_path;
   std::string input_path;     // tensor-list file; empty = synthetic inputs
   std::string dump_outputs;
+  std::string soc;  // refuse artifacts built for a different SoC
   u64 input_seed = 42;
   bool meta = false;
   bool report = false;
@@ -47,6 +49,9 @@ options:
                           in-process htvmc --run-outputs dump)
   --simulate-tiles        drive accelerator kernels tile by tile through
                           their DORY schedule
+  --soc <name>            SoC family this runner is deployed on; loading an
+                          artifact compiled for a different SocDescription
+                          fails instead of silently mis-executing
   --meta                  print header/section metadata and exit
   --report                per-kernel profile table
   --timeline              execution timeline
@@ -73,6 +78,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--dump-outputs") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.dump_outputs = v;
+    } else if (arg == "--soc") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      HTVM_RETURN_IF_ERROR(hw::FindSoc(v).status());
+      opt.soc = v;
     } else if (arg == "--simulate-tiles") {
       opt.simulate_tiles = true;
     } else if (arg == "--meta") {
@@ -111,11 +120,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "htvm-run: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
+  if (!opt.soc.empty() && loaded->artifact().soc_name != opt.soc) {
+    const Status mismatch = Status::Unsupported(
+        "artifact was compiled for SoC '" + loaded->artifact().soc_name +
+        "' but this runner is deployed on '" + opt.soc + "'");
+    std::fprintf(stderr, "htvm-run: %s\n", mismatch.ToString().c_str());
+    return 1;
+  }
 
   if (opt.meta) {
     std::printf("artifact: %s\n", opt.artifact_path.c_str());
     std::printf("model: %s (producer: %s)\n", loaded->meta().model_name.c_str(),
                 loaded->meta().producer.c_str());
+    std::printf("soc: %s\n", loaded->artifact().soc_name.c_str());
     std::printf("format: htvm-artifact v%u | %lld bytes | %s\n",
                 vm::kHabVersion, static_cast<long long>(loaded->file_bytes()),
                 loaded->zero_copy_source() ? "mmap" : "buffered");

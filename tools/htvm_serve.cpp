@@ -18,6 +18,7 @@
 
 #include "cache/artifact_cache.hpp"
 #include "compiler/pipeline.hpp"
+#include "hw/soc.hpp"
 #include "models/mlperf_tiny.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
@@ -33,7 +34,8 @@ struct ServeCliOptions {
   std::string config = "mixed";
   double qps = 100.0;
   double duration_s = 1.0;
-  int fleet = 1;
+  std::vector<std::string> fleet_kinds = {"diana"};  // one entry per SoC
+  serve::PlacementPolicy placement = serve::PlacementPolicy::kModelAware;
   int queue_cap = 64;
   int batch = 1;
   int threads = 0;           // 0 => one per SoC
@@ -58,7 +60,13 @@ options:
   --config <tvm|digital|analog|mixed>  deployment configuration
   --qps <n>                  Poisson arrival rate (requests/s)
   --duration-s <n>           trace horizon in seconds
-  --fleet <n>                number of simulated SoC instances
+  --fleet <spec>             simulated SoC instances: either a count of
+                             default "diana" SoCs (--fleet 4) or a mixed
+                             fleet of registered SoC families as
+                             name:count pairs (--fleet diana:2,diana-pe32:2)
+  --placement <policy>       how a dispatching request picks its SoC:
+                             model-aware (default; per-kind predicted
+                             latency), round-robin, earliest-free
   --queue-cap <n>            admission-control queue bound
   --batch <n>                micro-batch size (1 = off)
   --threads <n>              worker threads (default: one per SoC)
@@ -86,6 +94,44 @@ options:
   --slow-frac <f>            fraction of the fleet with a latency spike (0.25)
   --help                     this text
 )");
+}
+
+// "--fleet 4" (a plain count of default "diana" SoCs) or
+// "--fleet diana:2,diana-pe32:1,diana-scalar:1" (name:count pairs, each
+// name a registered SocDescription). Returns one kind per fleet index.
+Result<std::vector<std::string>> ParseFleetSpec(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("bad --fleet value");
+  if (spec.find_first_not_of("0123456789") == std::string::npos) {
+    const int n = std::atoi(spec.c_str());
+    if (n <= 0) return Status::InvalidArgument("bad --fleet value");
+    return std::vector<std::string>(static_cast<size_t>(n), "diana");
+  }
+  std::vector<std::string> kinds;
+  std::string entry;
+  for (char c : spec + ",") {
+    if (c != ',') {
+      entry += c;
+      continue;
+    }
+    if (entry.empty()) continue;
+    std::string name = entry;
+    int count = 1;
+    const size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      name = entry.substr(0, colon);
+      count = std::atoi(entry.c_str() + colon + 1);
+      if (count <= 0) {
+        return Status::InvalidArgument("bad --fleet count in '" + entry + "'");
+      }
+    }
+    // Validate against the registry so a typo fails at parse time with the
+    // list of known families instead of deep inside compilation.
+    HTVM_RETURN_IF_ERROR(hw::FindSoc(name).status());
+    kinds.insert(kinds.end(), static_cast<size_t>(count), name);
+    entry.clear();
+  }
+  if (kinds.empty()) return Status::InvalidArgument("bad --fleet value");
+  return kinds;
 }
 
 Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
@@ -124,8 +170,21 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--fleet") {
       HTVM_ASSIGN_OR_RETURN(v, value());
-      opt.fleet = std::atoi(v.c_str());
-      if (opt.fleet <= 0) return Status::InvalidArgument("bad --fleet value");
+      HTVM_ASSIGN_OR_RETURN(kinds, ParseFleetSpec(v));
+      opt.fleet_kinds = kinds;
+    } else if (arg == "--placement") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      if (v == "model-aware") {
+        opt.placement = serve::PlacementPolicy::kModelAware;
+      } else if (v == "round-robin") {
+        opt.placement = serve::PlacementPolicy::kRoundRobin;
+      } else if (v == "earliest-free") {
+        opt.placement = serve::PlacementPolicy::kEarliestFree;
+      } else {
+        return Status::InvalidArgument(
+            "bad --placement value '" + v +
+            "' (want model-aware|round-robin|earliest-free)");
+      }
     } else if (arg == "--queue-cap") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.queue_cap = std::atoi(v.c_str());
@@ -236,7 +295,9 @@ int main(int argc, char** argv) {
   options.compile_threads = opt.compile_threads;
 
   serve::ServerOptions server_options;
-  server_options.fleet_size = opt.fleet;
+  server_options.fleet_size = static_cast<int>(opt.fleet_kinds.size());
+  server_options.soc_kinds = opt.fleet_kinds;
+  server_options.placement = opt.placement;
   server_options.queue_capacity = opt.queue_cap;
   server_options.worker_threads = opt.threads;
   server_options.max_batch = opt.batch;

@@ -19,6 +19,7 @@
 #include "compiler/emit.hpp"
 #include "compiler/pass_manager.hpp"
 #include "compiler/pipeline.hpp"
+#include "hw/soc.hpp"
 #include "ir/dot.hpp"
 #include "ir/serialize.hpp"
 #include "models/mlperf_tiny.hpp"
@@ -37,6 +38,7 @@ struct CliOptions {
   std::string model;       // builtin model name
   std::string graph_path;  // serialized graph file
   std::string config = "mixed";
+  std::string soc;  // SocDescription name; empty = default "diana"
   std::string emit_dir;
   std::string dot_path;
   std::string dump_ir_dir;
@@ -64,6 +66,11 @@ input (one of):
 
 options:
   --config <tvm|digital|analog|mixed>         deployment configuration
+  --soc <name>                                target SoC family from the
+                                              registry (default diana);
+                                              artifacts record their SoC and
+                                              htvm-run --soc refuses a
+                                              mismatch
   --tuned-cpu                                 enable the hand-tuned CPU
                                               kernel library BYOC target
   --l1 <kB>                                   override the L1 tiling budget
@@ -117,6 +124,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--config") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.config = v;
+    } else if (arg == "--soc") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      HTVM_RETURN_IF_ERROR(hw::FindSoc(v).status());
+      opt.soc = v;
     } else if (arg == "--emit-dir") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.emit_dir = v;
@@ -221,6 +232,10 @@ int main(int argc, char** argv) {
                  opt.config.c_str());
     return 2;
   }
+  if (!opt.soc.empty()) {
+    // Validated at parse time; Find again to fetch the full description.
+    options.soc = *hw::FindSoc(opt.soc);
+  }
   options.dispatch.enable_tuned_cpu_library = opt.tuned_cpu;
   options.instrument.dump_ir_dir = opt.dump_ir_dir;
   options.instrument.dump_ir_filter = opt.dump_ir_filter;
@@ -253,6 +268,9 @@ int main(int argc, char** argv) {
               artifact->kernels.size(), artifact->LatencyMs(),
               artifact->PeakLatencyMs(), artifact->size.ToString().c_str(),
               artifact->memory_plan.fits ? "fits" : "OUT OF MEMORY");
+  if (!opt.soc.empty()) {
+    std::printf("soc: %s\n", artifact->soc_name.c_str());
+  }
 
   if (!opt.artifact_path.empty()) {
     vm::HabMeta meta;
