@@ -1,0 +1,139 @@
+// Schedule-search autotuner evaluation: MLPerf Tiny suite x every
+// registered SoC family x {heuristic, beam, evolutionary}.
+//
+// For each (model, SoC) cell the network is compiled once per strategy and
+// the simulated end-to-end latency (Artifact::TotalFullCycles, the same
+// number Table I reports) is compared against the DORY Eq. 1-5 heuristic
+// baseline. The table reports per-cell deltas plus each strategy's geomean
+// ratio and search cost (cost-model + simulator evaluations).
+//
+// `--check` is the CI contract: both cost-guided strategies must match or
+// beat the heuristic on EVERY cell (they always include the heuristic pick
+// as a finalist, so a regression means the argmin tie-breaking broke).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "compiler/pipeline.hpp"
+#include "dory/schedule_search.hpp"
+#include "hw/soc.hpp"
+#include "models/mlperf_tiny.hpp"
+
+namespace htvm {
+namespace {
+
+struct StrategyRun {
+  i64 full_cycles = 0;
+  i64 cost_model_evals = 0;
+  i64 simulator_evals = 0;
+};
+
+StrategyRun CompileWith(const Graph& net, const hw::SocDescription& soc,
+                        dory::ScheduleSearchKind kind) {
+  compiler::CompileOptions options;  // mixed: dispatch picks per layer
+  options.soc = soc;
+  options.schedule_search.kind = kind;
+  dory::ScheduleSearchStats::Global().Reset();
+  StrategyRun run;
+  run.full_cycles = bench::Compile(net, options).TotalFullCycles();
+  run.cost_model_evals = dory::ScheduleSearchStats::Global().cost_model_evals();
+  run.simulator_evals = dory::ScheduleSearchStats::Global().simulator_evals();
+  return run;
+}
+
+int Run(bool check) {
+  const std::vector<std::string> socs = hw::SocRegistry::Global().Names();
+  const auto suite = models::MlperfTinySuite();
+  constexpr dory::ScheduleSearchKind kSearched[] = {
+      dory::ScheduleSearchKind::kBeam,
+      dory::ScheduleSearchKind::kEvolutionary,
+  };
+
+  bench::PrintHeader("schedule-search autotuner vs DORY heuristic");
+  std::printf("%-10s %-14s %14s %14s %8s %14s %8s\n", "model", "soc",
+              "heuristic", "beam", "delta", "evolutionary", "delta");
+  bench::PrintRule(88);
+
+  // Per-strategy accumulators across all cells.
+  double log_ratio_sum[2] = {0.0, 0.0};
+  i64 evals[2] = {0, 0};
+  i64 sim_evals[2] = {0, 0};
+  int cells = 0;
+  int regressions = 0;
+
+  for (const auto& model : suite) {
+    const Graph net = model.build(models::PrecisionPolicy::kMixed);
+    for (const std::string& soc_name : socs) {
+      const hw::SocDescription soc = *hw::FindSoc(soc_name);
+      const StrategyRun base =
+          CompileWith(net, soc, dory::ScheduleSearchKind::kHeuristic);
+      StrategyRun searched[2];
+      for (int s = 0; s < 2; ++s) {
+        searched[s] = CompileWith(net, soc, kSearched[s]);
+        log_ratio_sum[s] += std::log(static_cast<double>(searched[s].full_cycles) /
+                                     static_cast<double>(base.full_cycles));
+        evals[s] += searched[s].cost_model_evals;
+        sim_evals[s] += searched[s].simulator_evals;
+        if (searched[s].full_cycles > base.full_cycles) {
+          ++regressions;
+          std::printf("REGRESSION: %s on %s: %s %lld > heuristic %lld\n",
+                      model.name, soc_name.c_str(),
+                      dory::ScheduleSearchKindName(kSearched[s]),
+                      static_cast<long long>(searched[s].full_cycles),
+                      static_cast<long long>(base.full_cycles));
+        }
+      }
+      ++cells;
+      const auto delta_pct = [&](const StrategyRun& r) {
+        return 100.0 * (static_cast<double>(r.full_cycles) /
+                            static_cast<double>(base.full_cycles) -
+                        1.0);
+      };
+      std::printf("%-10s %-14s %14lld %14lld %+7.2f%% %14lld %+7.2f%%\n",
+                  model.name, soc_name.c_str(),
+                  static_cast<long long>(base.full_cycles),
+                  static_cast<long long>(searched[0].full_cycles),
+                  delta_pct(searched[0]),
+                  static_cast<long long>(searched[1].full_cycles),
+                  delta_pct(searched[1]));
+    }
+  }
+
+  bench::PrintRule(88);
+  for (int s = 0; s < 2; ++s) {
+    const double geomean = std::exp(log_ratio_sum[s] / cells);
+    std::printf(
+        "%-14s geomean latency ratio %.4f (%+.2f%%) over %d cells | "
+        "%lld cost-model + %lld simulator evals\n",
+        dory::ScheduleSearchKindName(kSearched[s]), geomean,
+        100.0 * (geomean - 1.0), cells, static_cast<long long>(evals[s]),
+        static_cast<long long>(sim_evals[s]));
+  }
+
+  if (check) {
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "bench_autotune --check: %d cell(s) slower than the "
+                   "heuristic baseline\n",
+                   regressions);
+      return 1;
+    }
+    std::printf("check: searched <= heuristic on all %d model x SoC cells\n",
+                cells);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  return htvm::Run(check);
+}

@@ -14,9 +14,15 @@
 // `--threads` sweeps CompileKernels lane counts {1, 2, 4, 8} on the
 // MobileNet-class model, reporting the stage speedup vs 1 lane, the
 // per-pass timeline deltas, and artifact byte-identity per count.
+//
+// `--search` accounts the cost of the cost-guided schedule search
+// (docs/schedule_search.md): compile wall time and cost-model/simulator
+// evaluation counts per strategy vs the free heuristic, on every MLPerf
+// Tiny model.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -24,6 +30,7 @@
 #include "cache/artifact_serialize.hpp"
 #include "compiler/pass_manager.hpp"
 #include "compiler/pipeline.hpp"
+#include "dory/schedule_search.hpp"
 #include "models/mlperf_tiny.hpp"
 #include "support/thread_pool.hpp"
 
@@ -179,6 +186,58 @@ int RunThreadsSweep() {
   return all_identical ? 0 : 1;
 }
 
+// `--search`: how much compile time the cost-guided schedule search adds.
+// Each MLPerf Tiny model is compiled per strategy (best of kReps wall
+// times) with the per-strategy evaluation counters from
+// dory::ScheduleSearchStats, so "search cost" is reported both in wall
+// milliseconds and in cost-model/simulator evaluations.
+int RunSearchCost() {
+  constexpr int kReps = 3;
+  const dory::ScheduleSearchKind kinds[] = {
+      dory::ScheduleSearchKind::kHeuristic,
+      dory::ScheduleSearchKind::kBeam,
+      dory::ScheduleSearchKind::kEvolutionary,
+  };
+  std::printf("schedule-search compile cost (digital config, best of %d)\n",
+              kReps);
+  std::printf("%-10s %-14s %12s %10s %12s %12s\n", "model", "strategy",
+              "compile[ms]", "vs heur", "cm evals", "sim evals");
+  for (const auto& model : models::MlperfTinySuite()) {
+    // Digital-only: every offloaded layer actually tiles (analog layers
+    // mostly take the untiled fast path, which no strategy searches).
+    const Graph net = model.build(models::PrecisionPolicy::kInt8);
+    double heuristic_ms = 0.0;
+    for (dory::ScheduleSearchKind kind : kinds) {
+      compiler::CompileOptions opt = compiler::CompileOptions::DigitalOnly();
+      opt.schedule_search.kind = kind;
+      double best_ms = 0.0;
+      i64 cm = 0, sim = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        dory::ScheduleSearchStats::Global().Reset();
+        const auto t0 = std::chrono::steady_clock::now();
+        auto art = compiler::HtvmCompiler{opt}.Compile(net);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!art.ok()) {
+          std::fprintf(stderr, "compile %s failed: %s\n", model.name,
+                       art.status().ToString().c_str());
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+        cm = dory::ScheduleSearchStats::Global().cost_model_evals();
+        sim = dory::ScheduleSearchStats::Global().simulator_evals();
+      }
+      if (kind == dory::ScheduleSearchKind::kHeuristic) heuristic_ms = best_ms;
+      std::printf("%-10s %-14s %12.3f %9.2fx %12lld %12lld\n", model.name,
+                  dory::ScheduleSearchKindName(kind), best_ms,
+                  best_ms / std::max(heuristic_ms, 1e-9),
+                  static_cast<long long>(cm), static_cast<long long>(sim));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace htvm
 
@@ -188,6 +247,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
     if (std::strcmp(argv[i], "--threads") == 0) return RunThreadsSweep();
+    if (std::strcmp(argv[i], "--search") == 0) return RunSearchCost();
   }
   const auto digital = compiler::CompileOptions::DigitalOnly();
   const auto both = compiler::CompileOptions{};

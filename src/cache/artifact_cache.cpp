@@ -137,6 +137,25 @@ void ArtifactCache::Store(const std::string& key,
   }
 }
 
+std::optional<dory::TileSolution> ArtifactCache::LookupSchedule(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = schedules_.find(key);
+  if (it == schedules_.end()) {
+    stats_.schedule_misses += 1;
+    return std::nullopt;
+  }
+  stats_.schedule_hits += 1;
+  return it->second;
+}
+
+void ArtifactCache::StoreSchedule(const std::string& key,
+                                  const dory::TileSolution& solution) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedules_[key] = solution;
+  stats_.schedule_entries = static_cast<i64>(schedules_.size());
+}
+
 CacheStats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -151,6 +170,7 @@ void ArtifactCache::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  schedules_.clear();
   stats_ = CacheStats{};
 }
 
@@ -158,6 +178,7 @@ void ArtifactCache::Reset(const ArtifactCacheOptions& new_options) {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  schedules_.clear();
   stats_ = CacheStats{};
   options_ = new_options;
   if (!options_.dir.empty()) {

@@ -7,7 +7,10 @@ namespace {
 // fingerprint. The geometry (HashHwConfig) was always hashed, but two
 // registered SoCs with identical geometry would previously collide on one
 // entry — and a wrong-SoC artifact would be served as a hit.
-constexpr u64 kOptionsFingerprintVersion = 2;
+// v3: schedule-search options joined (kind + beam/evolutionary knobs) — a
+// cost-guided-search artifact carries different tile schedules than the
+// heuristic one, so the two must never cross-hit.
+constexpr u64 kOptionsFingerprintVersion = 3;
 
 void HashDmaConfig(ir::Hasher& h, const hw::DmaConfig& c) {
   h.Add(c.setup_cycles).Add(c.bytes_per_cycle).Add(c.row_setup_cycles);
@@ -68,6 +71,18 @@ void HashTilerOptions(ir::Hasher& h, const dory::TilerOptions& t) {
       .Add(t.l1_budget_bytes);
 }
 
+void HashScheduleSearch(ir::Hasher& h, const dory::ScheduleSearchOptions& s) {
+  h.Add(static_cast<i64>(s.kind))
+      .Add(s.beam_width)
+      .Add(s.population)
+      .Add(s.generations)
+      .Add(s.elites)
+      .Add(s.seed);
+  // eval_lanes is absent for the same reason compile_threads is: the
+  // evaluation fan-out never changes which schedule wins (deterministic
+  // argmin over a fixed finalist list).
+}
+
 void HashSizeModel(ir::Hasher& h, const tvmgen::SizeModelConfig& s) {
   h.Add(s.tvm_runtime_bytes)
       .Add(s.htvm_runtime_bytes)
@@ -93,6 +108,7 @@ ir::Hash128 OptionsFingerprint(const compiler::CompileOptions& options) {
       .Add(options.dispatch.enable_tuned_cpu_library)
       .Add(options.plain_tvm);
   HashTilerOptions(h, options.tiler);
+  HashScheduleSearch(h, options.schedule_search);
   HashSizeModel(h, options.size_model);
   // SoC identity first (name + presence flags + SIMD class), then the full
   // geometry/cost model. Identity alone distinguishes same-geometry twins;

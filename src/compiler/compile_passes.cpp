@@ -1,8 +1,10 @@
 #include "compiler/compile_passes.hpp"
 
 #include "compiler/memory_planner.hpp"
+#include "dory/schedule_search.hpp"
 #include "dory/weight_layout.hpp"
 #include "ir/passes.hpp"
+#include "ir/structural_hash.hpp"
 #include "nn/interpreter.hpp"
 #include "support/logging.hpp"
 #include "support/string_utils.hpp"
@@ -87,6 +89,22 @@ class LowerToKernelsPass final : public Pass {
 // Per-kernel compilation: DORY tiling schedules for accelerator
 // composites, the cost/size models for CPU composites.
 //
+// Schedule-memo key for one accelerator composite: the canonical structural
+// hash of the composite body x the SoC fingerprint x the target x every
+// tiler/search knob that changes the search problem. Deliberately
+// independent of options that cannot change the winning tile shape (size
+// model, dispatch gates, compile_threads), so a tuned schedule is reused
+// across artifact-key misses those options cause.
+std::string ScheduleMemoKey(const Graph& body, const CompileOptions& options,
+                            dory::AccelTarget target) {
+  ir::Hasher h(/*seed=*/0x73636864ull);  // "schd"
+  h.AddHash(ir::StructuralHash(body));
+  h.Add(options.soc.Fingerprint());
+  h.Add(dory::ScheduleSearchProblemFingerprint(
+      dory::AccelLayerSpec{}, target, options.tiler, options.schedule_search));
+  return "sched-" + h.Digest().ToHex();
+}
+
 // Each composite's schedule is independent, so the per-kernel loop is
 // sharded over the shared thread pool (options.compile_threads lanes).
 // Determinism contract (locked down by tests/parallel_compile_test.cpp):
@@ -130,9 +148,33 @@ class CompileKernelsPass final : public Pass {
             kernel.target == "analog" ? dory::AccelTarget::kAnalog
                                       : dory::AccelTarget::kDigital;
         HTVM_ASSIGN_OR_RETURN(spec, dory::AnalyzeCompositeBody(*n.body));
-        HTVM_ASSIGN_OR_RETURN(
-            sched, dory::BuildSchedule(spec, options.soc.config, accel_target,
-                                       options.tiler));
+        // Cost-guided searches consult the per-layer schedule memo first
+        // (composite StructuralHash x SoC fingerprint x tiler/search
+        // options): a remembered winner skips the whole search — zero
+        // cost-model or simulator evaluations. The heuristic default
+        // bypasses the memo entirely; its pick is already O(candidates).
+        const bool searched = options.schedule_search.kind !=
+                              dory::ScheduleSearchKind::kHeuristic;
+        std::string memo_key;
+        std::optional<dory::TileSolution> remembered;
+        if (searched && options.cache != nullptr) {
+          memo_key = ScheduleMemoKey(*n.body, options, accel_target);
+          remembered = options.cache->LookupSchedule(memo_key);
+        }
+        Result<dory::AccelSchedule> sched_or =
+            remembered ? dory::BuildScheduleWithSolution(
+                             spec, options.soc.config, accel_target,
+                             options.tiler, *remembered)
+                       : dory::SearchSchedule(spec, options.soc.config,
+                                              accel_target, options.tiler,
+                                              options.schedule_search);
+        if (!sched_or.ok()) return sched_or.status();
+        dory::AccelSchedule sched = std::move(sched_or.value());
+        if (remembered) {
+          dory::ScheduleSearchStats::Global().RecordMemoHit();
+        } else if (!memo_key.empty()) {
+          options.cache->StoreSchedule(memo_key, sched.solution);
+        }
         kernel.perf.name = kernel.name;
         kernel.perf.target = kernel.target;
         kernel.perf.macs = sched.macs;

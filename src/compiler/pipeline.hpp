@@ -14,6 +14,7 @@
 
 #include "compiler/artifact.hpp"
 #include "compiler/dispatch.hpp"
+#include "dory/schedule_search.hpp"
 #include "dory/tiler.hpp"
 #include "hw/soc.hpp"
 
@@ -47,6 +48,16 @@ struct CompileOptions {
   // reuse (TVM's naive graph executor), keeping the TVM runtime size.
   bool plain_tvm = false;
   dory::TilerOptions tiler;
+  // How CompileKernels picks each accelerator layer's tile schedule
+  // (docs/schedule_search.md): the default `heuristic` is the DORY Eq. 1-5
+  // picker, byte-identical to pre-framework artifacts; `beam` and
+  // `evolutionary` search the feasible candidates with hw::CostModel
+  // scoring + simulator validation. Part of cache::OptionsFingerprint —
+  // tuned and heuristic artifacts never share a cache entry. Winning
+  // per-layer schedules are additionally memoized through
+  // ArtifactCacheHook::{Lookup,Store}Schedule, so re-tuning a seen layer
+  // on the same SoC costs zero evaluations.
+  dory::ScheduleSearchOptions schedule_search;
   tvmgen::SizeModelConfig size_model;
   // Which SoC family member to compile for (hw/soc.hpp). The default is
   // the paper's DIANA chip; other registered variants change the tiler

@@ -6,6 +6,7 @@
 #include "hw/digital_accel.hpp"
 #include "hw/dma.hpp"
 #include "support/math_utils.hpp"
+#include "support/string_utils.hpp"
 
 namespace htvm::dory {
 namespace {
@@ -112,8 +113,21 @@ Result<AccelSchedule> BuildScheduleWithSolution(const AccelLayerSpec& spec,
   sched.options = options;
   sched.macs = spec.Macs();
 
+  // A pathological solution (e.g. a hand-built 1x1x1x1 tile over a large
+  // layer under a tiny L1 budget) would enumerate an absurd step list;
+  // report it as a typed resource error naming the layer instead of
+  // aborting — callers degrade the same way as an infeasible tiling.
   const i64 tiles_expected = sol.TileCount();
-  HTVM_CHECK_MSG(tiles_expected <= 200000, "unreasonable tile count");
+  if (tiles_expected > 200000) {
+    return Status::ResourceExhausted(StrFormat(
+        "tile schedule for %s layer (C=%lld K=%lld out=%lldx%lld) needs "
+        "%lld steps (limit 200000); the tile shape is too small for the "
+        "layer — likely an undersized L1 budget",
+        LayerKindName(spec.kind), static_cast<long long>(spec.c),
+        static_cast<long long>(spec.k), static_cast<long long>(spec.oy),
+        static_cast<long long>(spec.ox),
+        static_cast<long long>(tiles_expected)));
+  }
   sched.steps.reserve(static_cast<size_t>(tiles_expected));
 
   // Weight residency: when the whole layer's weights fit the accelerator

@@ -1,0 +1,127 @@
+// Pluggable schedule search over the DORY tile-candidate space
+// (docs/schedule_search.md; the TVM autotuning direction of PAPERS.md).
+//
+// The tiler (dory/tiler.hpp) now exposes its three layers — untiled fast
+// path, feasible-candidate enumerator, Eq. 1-5 heuristic picker — and a
+// ScheduleSearch strategy decides which feasible candidate a layer deploys:
+//
+//   heuristic     the DORY Eq. 1-5 picker, byte-identical to the legacy
+//                 SolveTiling (the default; golden artifacts are pinned on
+//                 this path, and it performs zero cost evaluations);
+//   beam          score every candidate with the O(1) hw::CostModel, keep
+//                 the best `beam_width`, evaluate the shortlist (plus the
+//                 heuristic pick) on the ground-truth DIANA simulator and
+//                 deploy the fastest;
+//   evolutionary  a seeded genetic search over the 4-D tile-shape space
+//                 (per-axis mutation + uniform crossover with feasibility
+//                 repair), elites graduated to the simulator.
+//
+// Both cost-guided strategies always simulator-evaluate the heuristic pick
+// too, so a searched schedule is never slower than the heuristic one on
+// the simulated latency the benches report (`bench_autotune --check`).
+// Simulator evaluations fan out on SharedCompilePool; every strategy is
+// deterministic in (layer, options) — independent of thread count and,
+// for `evolutionary`, seeded per layer so results do not depend on the
+// order layers are searched in.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dory/schedule.hpp"
+
+namespace htvm::dory {
+
+enum class ScheduleSearchKind : u8 {
+  kHeuristic = 0,
+  kBeam = 1,
+  kEvolutionary = 2,
+};
+
+const char* ScheduleSearchKindName(ScheduleSearchKind kind);
+// Parses "heuristic" | "beam" | "evolutionary"; InvalidArgument (listing
+// the valid names) otherwise.
+Result<ScheduleSearchKind> ParseScheduleSearchKind(std::string_view name);
+
+struct ScheduleSearchOptions {
+  ScheduleSearchKind kind = ScheduleSearchKind::kHeuristic;
+  // Beam: cost-model-ranked candidates graduated to simulator evaluation.
+  int beam_width = 8;
+  // Evolutionary knobs: population per generation, generations, and the
+  // elite count graduated to the simulator at the end.
+  int population = 24;
+  int generations = 8;
+  int elites = 6;
+  // Base seed of the evolutionary RNG; XORed with a per-layer fingerprint
+  // so a layer's search is independent of its position in the network.
+  u64 seed = 0x5EEDull;
+  // Concurrent simulator evaluations per layer (nested ParallelFor on
+  // SharedCompilePool; 1 = inline).
+  int eval_lanes = 4;
+};
+
+// Process-wide search-effort counters (reset by tests/benches; reported by
+// `htvmc --schedule-search ...`). A compile served from the artifact cache
+// or the schedule memo performs zero evaluations — the CI smoke greps for
+// exactly that.
+class ScheduleSearchStats {
+ public:
+  static ScheduleSearchStats& Global();
+
+  void RecordCostEvals(i64 n) { cost_model_evals_ += n; }
+  void RecordSimEvals(i64 n) { simulator_evals_ += n; }
+  void RecordMemoHit() { ++memo_hits_; }
+  void RecordSearchedLayer() { ++layers_searched_; }
+  void Reset();
+
+  i64 cost_model_evals() const { return cost_model_evals_.load(); }
+  i64 simulator_evals() const { return simulator_evals_.load(); }
+  i64 memo_hits() const { return memo_hits_.load(); }
+  i64 layers_searched() const { return layers_searched_.load(); }
+  i64 TotalEvals() const { return cost_model_evals() + simulator_evals(); }
+
+ private:
+  std::atomic<i64> cost_model_evals_{0};
+  std::atomic<i64> simulator_evals_{0};
+  std::atomic<i64> memo_hits_{0};
+  std::atomic<i64> layers_searched_{0};
+};
+
+// One search strategy: picks the candidate to deploy from a non-empty
+// feasible set. Implementations must be deterministic functions of their
+// arguments and safe to call concurrently (the parallel CompileKernels
+// lanes share one instance per compile).
+class ScheduleSearch {
+ public:
+  virtual ~ScheduleSearch() = default;
+  virtual ScheduleSearchKind kind() const = 0;
+  virtual Result<TileSolution> Select(
+      const AccelLayerSpec& spec, const hw::DianaConfig& cfg,
+      AccelTarget target, const TilerOptions& tiler,
+      const ScheduleSearchOptions& search,
+      const std::vector<TileSolution>& candidates) const = 0;
+};
+
+std::unique_ptr<ScheduleSearch> MakeScheduleSearch(ScheduleSearchKind kind);
+
+// The search-aware BuildSchedule: untiled fast path first (all strategies
+// take it unconditionally), then the configured strategy over the feasible
+// candidates, then the full simulator schedule of the winner. With the
+// default heuristic kind this is byte-for-byte BuildSchedule.
+Result<AccelSchedule> SearchSchedule(const AccelLayerSpec& spec,
+                                     const hw::DianaConfig& cfg,
+                                     AccelTarget target,
+                                     const TilerOptions& tiler,
+                                     const ScheduleSearchOptions& search);
+
+// Deterministic identity of one layer search problem: layer geometry x
+// target x tiler knobs x search knobs. XORs into the evolutionary seed and
+// keys the schedule memo (with the SoC fingerprint joined by the caller).
+u64 ScheduleSearchProblemFingerprint(const AccelLayerSpec& spec,
+                                     AccelTarget target,
+                                     const TilerOptions& tiler,
+                                     const ScheduleSearchOptions& search);
+
+}  // namespace htvm::dory

@@ -42,7 +42,27 @@ i64 WeightTileBytes(const AccelLayerSpec& spec, AccelTarget target, i64 c_t,
   return 0;
 }
 
+i64 AccelWeightMemBytes(const hw::DianaConfig& cfg, AccelTarget target) {
+  return target == AccelTarget::kDigital ? cfg.digital.weight_mem_bytes
+                                         : cfg.analog.weight_mem_bytes;
+}
+
+// Tile-grid counts for a picked tile shape (dw/add count the channel grid
+// once, on the c axis).
+void FillTileGrid(const AccelLayerSpec& spec, TileSolution& s) {
+  s.n_c = CeilDiv(spec.c, s.c_t);
+  s.n_k = (spec.kind == LayerKind::kDwConv2d || spec.kind == LayerKind::kAdd)
+              ? 1
+              : CeilDiv(spec.k, s.k_t);
+  s.n_y = CeilDiv(spec.oy, s.oy_t);
+  s.n_x = CeilDiv(spec.ox, s.ox_t);
+}
+
 }  // namespace
+
+i64 EffectiveL1Budget(const hw::DianaConfig& cfg, const TilerOptions& options) {
+  return options.l1_budget_bytes > 0 ? options.l1_budget_bytes : cfg.l1_bytes;
+}
 
 i64 TileL1Bytes(const AccelLayerSpec& spec, AccelTarget target,
                 const TilerOptions& options, i64 c_t, i64 k_t, i64 oy_t,
@@ -71,37 +91,38 @@ i64 TileL1Bytes(const AccelLayerSpec& spec, AccelTarget target,
   return 0;
 }
 
-Result<TileSolution> SolveTiling(const AccelLayerSpec& spec,
-                                 const hw::DianaConfig& cfg,
-                                 AccelTarget target,
-                                 const TilerOptions& options) {
-  const i64 budget =
-      options.l1_budget_bytes > 0 ? options.l1_budget_bytes : cfg.l1_bytes;
-  const i64 weight_mem = target == AccelTarget::kDigital
-                             ? cfg.digital.weight_mem_bytes
-                             : cfg.analog.weight_mem_bytes;
-
-  // --- untiled fast path (Fig. 4 grey area) ------------------------------
-  {
-    TilerOptions single = options;
-    single.double_buffer = false;  // a single pass needs one buffer set
-    const i64 whole = TileL1Bytes(spec, target, single, spec.c, spec.k,
-                                  spec.oy, spec.ox, /*psum=*/false);
-    const i64 wbytes = WeightTileBytes(spec, target, spec.c, spec.k);
-    if (whole < budget && wbytes <= weight_mem) {
-      TileSolution s;
-      s.c_t = spec.c;
-      s.k_t = spec.k;
-      s.oy_t = spec.oy;
-      s.ox_t = spec.ox;
-      s.iy_t = spec.iy;
-      s.ix_t = spec.ix;
-      s.needs_tiling = false;
-      s.l1_bytes = whole;
-      s.objective = 0.0;
-      return s;
-    }
+std::optional<TileSolution> UntiledSolution(const AccelLayerSpec& spec,
+                                            const hw::DianaConfig& cfg,
+                                            AccelTarget target,
+                                            const TilerOptions& options) {
+  const i64 budget = EffectiveL1Budget(cfg, options);
+  TilerOptions single = options;
+  single.double_buffer = false;  // a single pass needs one buffer set
+  const i64 whole = TileL1Bytes(spec, target, single, spec.c, spec.k, spec.oy,
+                                spec.ox, /*psum=*/false);
+  const i64 wbytes = WeightTileBytes(spec, target, spec.c, spec.k);
+  if (whole >= budget || wbytes > AccelWeightMemBytes(cfg, target)) {
+    return std::nullopt;
   }
+  TileSolution s;
+  s.c_t = spec.c;
+  s.k_t = spec.k;
+  s.oy_t = spec.oy;
+  s.ox_t = spec.ox;
+  s.iy_t = spec.iy;
+  s.ix_t = spec.ix;
+  s.needs_tiling = false;
+  s.l1_bytes = whole;
+  s.objective = 0.0;
+  return s;
+}
+
+std::vector<TileSolution> EnumerateTileCandidates(const AccelLayerSpec& spec,
+                                                  const hw::DianaConfig& cfg,
+                                                  AccelTarget target,
+                                                  const TilerOptions& options) {
+  const i64 budget = EffectiveL1Budget(cfg, options);
+  const i64 weight_mem = AccelWeightMemBytes(cfg, target);
 
   // --- candidate sets per dimension ---------------------------------------
   // Channel dims step on the PE grid (16); spatial dims step finer (4) so
@@ -138,11 +159,7 @@ Result<TileSolution> SolveTiling(const AccelLayerSpec& spec,
       break;
   }
 
-  TileSolution best;
-  bool found = false;
-  double best_obj = -1.0;
-  i64 best_volume = -1;  // tie-break: prefer bigger (fewer) tiles
-
+  std::vector<TileSolution> out;
   for (const i64 c_t : c_cands) {
     for (const i64 k_raw : k_cands) {
       const i64 k_t = (spec.kind == LayerKind::kDwConv2d ||
@@ -162,80 +179,118 @@ Result<TileSolution> SolveTiling(const AccelLayerSpec& spec,
           const i64 iy_t = InTileDim(oy_t, spec.sy, spec.kh, spec.iy);
           const i64 ix_t = InTileDim(ox_t, spec.sx, spec.kw, spec.ix);
 
-          // --- Eq. 1 objective ------------------------------------------
-          double obj = options.alpha * static_cast<double>(bytes) /
-                       static_cast<double>(budget);
-          if (options.enable_pe_heuristics && !analog) {
-            // Eq. 3 + Eq. 4, extended with the same alignment reward on the
-            // K tile — the PE array unrolls output channels over its 16
-            // rows, so a K tile off the grid wastes lanes identically.
-            // Normalized to [0, 1].
-            const double norm = static_cast<double>(pe - 1);
-            double h_pe;
-            if (spec.kind == LayerKind::kDense) {
-              h_pe = static_cast<double>((c_t - 1) % pe + (k_t - 1) % pe) /
-                     (2.0 * norm);
-            } else {
-              h_pe = static_cast<double>((c_t - 1) % pe + (ix_t - 1) % pe +
-                                         (k_t - 1) % pe) /
-                     (3.0 * norm);
-            }
-            obj += options.beta_pe * h_pe;
-          }
-          if (options.enable_dma_heuristic &&
-              spec.kind != LayerKind::kDense) {
-            // Eq. 5 plus the contiguity goal it serves: "to minimize
-            // non-contiguous input data transfers ... we maximize the iy
-            // dimension" — a tile spanning the full input width transfers
-            // as whole C-y-x rows (one descriptor per channel) instead of
-            // per-(channel, row) segments.
-            const double contig = ix_t >= spec.ix ? 1.0 : 0.0;
-            const double h_dma =
-                0.75 * contig +
-                0.25 * static_cast<double>(iy_t) / static_cast<double>(spec.iy);
-            obj += options.beta_dma * h_dma;
-          }
-
-          const i64 volume = c_t * k_t * oy_t * ox_t;
-          const bool better =
-              obj > best_obj + 1e-9 ||
-              (obj > best_obj - 1e-9 && volume > best_volume);
-          if (better) {
-            best_obj = std::max(best_obj, obj);
-            best_volume = volume;
-            best.c_t = c_t;
-            best.k_t = k_t;
-            best.oy_t = oy_t;
-            best.ox_t = ox_t;
-            best.iy_t = std::min(iy_t, spec.iy);
-            best.ix_t = std::min(ix_t, spec.ix);
-            best.psum = psum;
-            best.l1_bytes = bytes;
-            best.objective = obj;
-            found = true;
-          }
+          TileSolution s;
+          s.c_t = c_t;
+          s.k_t = k_t;
+          s.oy_t = oy_t;
+          s.ox_t = ox_t;
+          s.iy_t = std::min(iy_t, spec.iy);
+          s.ix_t = std::min(ix_t, spec.ix);
+          s.psum = psum;
+          s.needs_tiling = true;
+          s.l1_bytes = bytes;
+          s.objective = 0.0;
+          FillTileGrid(spec, s);
+          out.push_back(s);
         }
       }
     }
   }
+  return out;
+}
 
-  if (!found) {
-    return Status::ResourceExhausted(StrFormat(
-        "no feasible tiling for %s layer within %lld B L1",
-        LayerKindName(spec.kind), static_cast<long long>(budget)));
+double HeuristicObjective(const AccelLayerSpec& spec,
+                          const hw::DianaConfig& cfg, AccelTarget target,
+                          const TilerOptions& options,
+                          const TileSolution& cand) {
+  const i64 budget = EffectiveL1Budget(cfg, options);
+  const bool analog = target == AccelTarget::kAnalog;
+  const i64 pe = cfg.digital.pe_rows;
+
+  // --- Eq. 1 objective ----------------------------------------------------
+  double obj = options.alpha * static_cast<double>(cand.l1_bytes) /
+               static_cast<double>(budget);
+  if (options.enable_pe_heuristics && !analog) {
+    // Eq. 3 + Eq. 4, extended with the same alignment reward on the
+    // K tile — the PE array unrolls output channels over its 16
+    // rows, so a K tile off the grid wastes lanes identically.
+    // Normalized to [0, 1].
+    const double norm = static_cast<double>(pe - 1);
+    double h_pe;
+    if (spec.kind == LayerKind::kDense) {
+      h_pe = static_cast<double>((cand.c_t - 1) % pe + (cand.k_t - 1) % pe) /
+             (2.0 * norm);
+    } else {
+      h_pe = static_cast<double>((cand.c_t - 1) % pe + (cand.ix_t - 1) % pe +
+                                 (cand.k_t - 1) % pe) /
+             (3.0 * norm);
+    }
+    obj += options.beta_pe * h_pe;
   }
-  best.needs_tiling = true;
-  best.n_c = CeilDiv(spec.c, best.c_t);
-  best.n_k = (spec.kind == LayerKind::kDwConv2d ||
-              spec.kind == LayerKind::kAdd)
-                 ? best.n_c
-                 : CeilDiv(spec.k, best.k_t);
-  best.n_y = CeilDiv(spec.oy, best.oy_t);
-  best.n_x = CeilDiv(spec.ox, best.ox_t);
-  if (spec.kind == LayerKind::kDwConv2d || spec.kind == LayerKind::kAdd) {
-    best.n_k = 1;  // channel grid already counted by n_c
+  if (options.enable_dma_heuristic && spec.kind != LayerKind::kDense) {
+    // Eq. 5 plus the contiguity goal it serves: "to minimize
+    // non-contiguous input data transfers ... we maximize the iy
+    // dimension" — a tile spanning the full input width transfers
+    // as whole C-y-x rows (one descriptor per channel) instead of
+    // per-(channel, row) segments.
+    const double contig = cand.ix_t >= spec.ix ? 1.0 : 0.0;
+    const double h_dma =
+        0.75 * contig +
+        0.25 * static_cast<double>(cand.iy_t) / static_cast<double>(spec.iy);
+    obj += options.beta_dma * h_dma;
+  }
+  return obj;
+}
+
+TileSolution PickHeuristicSolution(
+    const AccelLayerSpec& spec, const hw::DianaConfig& cfg, AccelTarget target,
+    const TilerOptions& options, const std::vector<TileSolution>& candidates) {
+  TileSolution best;
+  double best_obj = -1.0;
+  i64 best_volume = -1;  // tie-break: prefer bigger (fewer) tiles
+  for (const TileSolution& cand : candidates) {
+    const double obj = HeuristicObjective(spec, cfg, target, options, cand);
+    const i64 volume = cand.c_t * cand.k_t * cand.oy_t * cand.ox_t;
+    const bool better = obj > best_obj + 1e-9 ||
+                        (obj > best_obj - 1e-9 && volume > best_volume);
+    if (better) {
+      best_obj = std::max(best_obj, obj);
+      best_volume = volume;
+      best = cand;
+      best.objective = obj;
+    }
   }
   return best;
+}
+
+Status InfeasibleTilingStatus(const AccelLayerSpec& spec,
+                              const hw::DianaConfig& cfg, AccelTarget target,
+                              const TilerOptions& options) {
+  return Status::ResourceExhausted(StrFormat(
+      "no feasible tiling for %s layer (C=%lld K=%lld in=%lldx%lld "
+      "kernel=%lldx%lld) on the %s target within %lld B L1 "
+      "(weight memory %lld B)",
+      LayerKindName(spec.kind), static_cast<long long>(spec.c),
+      static_cast<long long>(spec.k), static_cast<long long>(spec.iy),
+      static_cast<long long>(spec.ix), static_cast<long long>(spec.kh),
+      static_cast<long long>(spec.kw), AccelTargetName(target),
+      static_cast<long long>(EffectiveL1Budget(cfg, options)),
+      static_cast<long long>(AccelWeightMemBytes(cfg, target))));
+}
+
+Result<TileSolution> SolveTiling(const AccelLayerSpec& spec,
+                                 const hw::DianaConfig& cfg,
+                                 AccelTarget target,
+                                 const TilerOptions& options) {
+  if (auto untiled = UntiledSolution(spec, cfg, target, options)) {
+    return *untiled;
+  }
+  const std::vector<TileSolution> candidates =
+      EnumerateTileCandidates(spec, cfg, target, options);
+  if (candidates.empty()) {
+    return InfeasibleTilingStatus(spec, cfg, target, options);
+  }
+  return PickHeuristicSolution(spec, cfg, target, options, candidates);
 }
 
 }  // namespace htvm::dory

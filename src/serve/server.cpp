@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/artifact_cache.hpp"
+#include "hw/cost_model.hpp"
 #include "hw/soc.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
@@ -115,11 +116,14 @@ Result<int> InferenceServer::RegisterKinds(
     ke.artifact = std::move(artifact);
     ke.executor = std::make_unique<runtime::Executor>(ke.artifact.get(),
                                                       options_.executor);
+    // Placement timing comes from the shared hw::CostModel — the same
+    // oracle the compiler's schedule search optimizes against, so the
+    // scheduler's service(model, kind) estimate and the tuner agree.
     const compiler::Artifact& art = *ke.artifact;
-    ke.service_us = art.hw_config.CyclesToUs(art.TotalFullCycles());
-    ke.batch_saving_us = art.hw_config.CyclesToUs(
-        art.hw_config.runtime_call_overhead *
-        static_cast<i64>(art.kernels.size()));
+    const hw::CostModel cost(art.hw_config);
+    ke.service_us = cost.ServiceUs(art.TotalFullCycles());
+    ke.batch_saving_us =
+        cost.BatchSavingUs(static_cast<i64>(art.kernels.size()));
     auto reference = ke.executor->Run(entry.inputs);
     if (!reference.ok()) return reference.status();
     ke.reference = std::move(reference.value().outputs);

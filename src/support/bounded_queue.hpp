@@ -43,6 +43,16 @@ class BoundedQueue {
     return true;
   }
 
+  // Non-blocking: std::nullopt when empty (regardless of closed state).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
   // Blocks while empty; std::nullopt once closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);

@@ -29,6 +29,13 @@ bool ThreadPool::Submit(std::function<void()> task) {
   return queue_.Push(std::move(task));
 }
 
+bool ThreadPool::TryRunOne() {
+  auto task = queue_.TryPop();
+  if (!task) return false;
+  (*task)();
+  return true;
+}
+
 void ThreadPool::Shutdown() {
   queue_.Close();
   for (std::thread& worker : workers_) {
@@ -104,8 +111,22 @@ Status ParallelFor(ThreadPool& pool, i64 n, i64 max_parallel,
     }
   }
   lane();  // inline lane: progress is independent of pool capacity
+  // Help-while-waiting: drain the pool queue instead of sleeping. A lane of
+  // a *nested* ParallelFor (schedule-search finalist evaluation inside a
+  // CompileKernels lane) may still sit in the queue with every worker
+  // blocked right here — on a single-worker pool the queued lane would
+  // otherwise never run. All our own lanes were submitted before this
+  // point, so once the queue reads empty they are running (or done) on some
+  // thread and the plain wait below cannot miss them.
   std::unique_lock<std::mutex> lock(shared.mu);
-  shared.done.wait(lock, [&shared] { return shared.active == 0; });
+  while (shared.active != 0) {
+    lock.unlock();
+    const bool ran = pool.TryRunOne();
+    lock.lock();
+    if (!ran) {
+      shared.done.wait(lock, [&shared] { return shared.active == 0; });
+    }
+  }
   if (shared.first_error_index != std::numeric_limits<i64>::max()) {
     return shared.first_error;
   }

@@ -36,6 +36,12 @@ class ThreadPool {
   // Callers must have a fallback (ParallelFor runs the lane inline).
   bool TrySubmit(std::function<void()> task);
 
+  // Pops and runs one queued task on the calling thread; false when the
+  // queue is empty. This is how blocked ParallelFor callers "help": a lane
+  // that waits on a nested ParallelFor drains the pool instead of sleeping,
+  // so nested fan-out can never deadlock even on a single-worker pool.
+  bool TryRunOne();
+
   // Blocks while the queue is full; false once Shutdown began. Every task
   // accepted before Shutdown is drained and executed.
   bool Submit(std::function<void()> task);

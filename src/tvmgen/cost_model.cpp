@@ -1,5 +1,6 @@
 #include "tvmgen/cost_model.hpp"
 
+#include "hw/cost_model.hpp"
 #include "hw/cpu.hpp"
 
 namespace htvm::tvmgen {
@@ -55,7 +56,10 @@ hw::KernelPerf CpuCompositePerf(const hw::DianaConfig& cfg,
   perf.compute_cycles = CpuCompositeCycles(cfg.cpu, composite);
   perf.peak_cycles = perf.compute_cycles;
   perf.overhead_cycles = cfg.runtime_call_overhead;
-  perf.full_cycles = perf.peak_cycles + perf.overhead_cycles;
+  // Full latency through the shared hw::CostModel (identical arithmetic:
+  // compute + runtime dispatch), so CPU kernels, accelerator schedules and
+  // serve placement all price a call the same way.
+  perf.full_cycles = hw::CostModel(cfg).CpuKernelFullCycles(perf.compute_cycles);
   return perf;
 }
 

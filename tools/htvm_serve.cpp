@@ -41,6 +41,7 @@ struct ServeCliOptions {
   int threads = 0;           // 0 => one per SoC
   int compile_threads = 0;   // CompileKernels lanes (0 = hw concurrency)
   u64 seed = 7;
+  std::string schedule_search;  // tile-schedule search strategy name
   std::string cache_dir;
   std::string preload_dir;  // register deployable HABs, zero compiles
   bool verify = false;
@@ -76,6 +77,11 @@ options:
                              misses overlap kernel compilation instead of
                              serializing behind one compile
   --seed <n>                 trace seed (metrics are deterministic in it)
+  --schedule-search <heuristic|beam|evolutionary>
+                             tile-schedule search strategy for compiles
+                             (default heuristic; beam/evolutionary search
+                             with the hw cost model — pair with --cache-dir
+                             so restarts replay memoized schedules)
   --cache-dir <dir>          persist compiled artifacts to a content-
                              addressed cache; a restarted fleet serving the
                              same models compiles nothing ("compiles": 0 in
@@ -211,6 +217,10 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--seed") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.seed = static_cast<u64>(std::atoll(v.c_str()));
+    } else if (arg == "--schedule-search") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      HTVM_RETURN_IF_ERROR(dory::ParseScheduleSearchKind(v).status());
+      opt.schedule_search = v;
     } else if (arg == "--cache-dir") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.cache_dir = v;
@@ -293,6 +303,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.compile_threads = opt.compile_threads;
+  if (!opt.schedule_search.empty()) {
+    // Validated at parse time.
+    options.schedule_search.kind =
+        *dory::ParseScheduleSearchKind(opt.schedule_search);
+  }
 
   serve::ServerOptions server_options;
   server_options.fleet_size = static_cast<int>(opt.fleet_kinds.size());

@@ -46,6 +46,7 @@ struct CliOptions {
   std::string cache_dir;
   std::string artifact_path;  // --emit-artifact: write a deployable HAB
   std::string run_outputs;    // in-process inference, dump output tensors
+  std::string schedule_search;  // tile-schedule search strategy name
   u64 input_seed = 42;
   i64 l1_kb = -1;
   int compile_threads = 0;  // 0 = hardware concurrency, 1 = sequential
@@ -99,6 +100,13 @@ options:
                                               concurrency, 1 = sequential;
                                               artifacts are byte-identical
                                               for every value)
+  --schedule-search <heuristic|beam|evolutionary>
+                                              tile-schedule search strategy
+                                              (default heuristic = DORY
+                                              Eq. 1-5 picker; beam and
+                                              evolutionary search candidate
+                                              schedules with the hw cost
+                                              model, match-or-beat latency)
   --print-pass-times                          per-pass compile-time breakdown
                                               (no-change passes show skipped)
   --help                                      this text
@@ -159,6 +167,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
           (opt.compile_threads == 0 && v != "0")) {
         return Status::InvalidArgument("bad --compile-threads value");
       }
+    } else if (arg == "--schedule-search") {
+      HTVM_ASSIGN_OR_RETURN(v, value());
+      HTVM_RETURN_IF_ERROR(dory::ParseScheduleSearchKind(v).status());
+      opt.schedule_search = v;
     } else if (arg == "--print-pass-times") {
       opt.print_pass_times = true;
     } else if (arg == "--l1") {
@@ -241,6 +253,12 @@ int main(int argc, char** argv) {
   options.instrument.dump_ir_filter = opt.dump_ir_filter;
   if (opt.l1_kb > 0) options.tiler.l1_budget_bytes = opt.l1_kb * 1024;
   options.compile_threads = opt.compile_threads;
+  if (!opt.schedule_search.empty()) {
+    // Validated at parse time.
+    options.schedule_search.kind =
+        *dory::ParseScheduleSearchKind(opt.schedule_search);
+  }
+  dory::ScheduleSearchStats::Global().Reset();
   if (!opt.cache_dir.empty()) {
     cache::ConfigureGlobalArtifactCache({.dir = opt.cache_dir});
     options.cache = &cache::GlobalArtifactCache();
@@ -262,6 +280,19 @@ int main(int argc, char** argv) {
     const cache::CacheStats cs = cache::GlobalArtifactCache().stats();
     std::printf("cache: %s (%s)\n",
                 cs.hits > 0 ? "hit" : "miss", opt.cache_dir.c_str());
+  }
+
+  if (options.schedule_search.kind != dory::ScheduleSearchKind::kHeuristic) {
+    const dory::ScheduleSearchStats& ss = dory::ScheduleSearchStats::Global();
+    std::printf(
+        "schedule-search: kind=%s evaluations=%lld (cost-model %lld, "
+        "simulator %lld) memo-hits=%lld layers=%lld\n",
+        dory::ScheduleSearchKindName(options.schedule_search.kind),
+        static_cast<long long>(ss.TotalEvals()),
+        static_cast<long long>(ss.cost_model_evals()),
+        static_cast<long long>(ss.simulator_evals()),
+        static_cast<long long>(ss.memo_hits()),
+        static_cast<long long>(ss.layers_searched()));
   }
 
   std::printf("%zu kernels | %.3f ms full (%.3f ms peak) | %s | L2 %s\n",
