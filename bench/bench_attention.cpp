@@ -1,0 +1,95 @@
+// Attention offload evaluation: accelerated vs CPU-only deployment of the
+// tiny transformer across a sweep of attention geometries.
+//
+// For each (depth, heads, d_model, seq_len) point the model is compiled
+// twice on the default DIANA SoC — the mixed config (diana.mhsa whole-block
+// offload + diana.matmul chains on the digital array) and the plain-TVM
+// CPU baseline — and the simulated end-to-end latencies
+// (Artifact::TotalFullCycles) are compared.
+//
+// `--check` is the CI contract: the accelerated deployment must beat the
+// CPU baseline on every geometry, and every accelerated run must actually
+// contain a diana.mhsa kernel (otherwise the comparison silently degrades
+// to CPU-vs-CPU).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "compiler/pipeline.hpp"
+#include "models/transformer.hpp"
+
+namespace htvm {
+namespace {
+
+struct Geometry {
+  i64 depth, heads, d_model, seq_len;
+};
+
+bool HasMhsaKernel(const compiler::Artifact& art) {
+  for (const auto& k : art.kernels) {
+    if (k.name.rfind("diana.mhsa", 0) == 0) return true;
+  }
+  return false;
+}
+
+int Run(bool check) {
+  const Geometry kSweep[] = {
+      {1, 1, 16, 8},
+      {1, 2, 32, 16},
+      {2, 2, 32, 16},
+      {1, 4, 64, 16},
+      {2, 4, 64, 32},
+  };
+
+  bench::PrintHeader("attention offload — digital array vs CPU baseline");
+  std::printf("%-22s %14s %14s %9s  %s\n", "geometry", "accel_cyc",
+              "cpu_cyc", "speedup", "mhsa");
+  bench::PrintRule(70);
+
+  bool all_win = true, all_offload = true;
+  for (const Geometry& g : kSweep) {
+    const Graph net =
+        models::TinyTransformer(g.depth, g.heads, g.d_model, g.seq_len);
+    const auto accel = bench::Compile(net, compiler::CompileOptions{});
+    const auto cpu =
+        bench::Compile(net, compiler::CompileOptions::PlainTvm());
+    const i64 accel_cyc = accel.TotalFullCycles();
+    const i64 cpu_cyc = cpu.TotalFullCycles();
+    const bool offloaded = HasMhsaKernel(accel);
+    all_win &= accel_cyc < cpu_cyc;
+    all_offload &= offloaded;
+    std::printf("d%lld h%lld dm%-3lld s%-4lld      %14lld %14lld %8.2fx  %s\n",
+                (long long)g.depth, (long long)g.heads, (long long)g.d_model,
+                (long long)g.seq_len, (long long)accel_cyc,
+                (long long)cpu_cyc,
+                static_cast<double>(cpu_cyc) / static_cast<double>(accel_cyc),
+                offloaded ? "yes" : "NO");
+  }
+  bench::PrintRule(70);
+  std::printf("accel beats CPU on %s geometries; MHSA offload on %s rows\n",
+              all_win ? "all" : "NOT all", all_offload ? "all" : "NOT all");
+  if (check && (!all_win || !all_offload)) {
+    std::printf("CHECK FAILED: attention offload did not beat the CPU "
+                "baseline everywhere\n");
+    return 1;
+  }
+  if (check) std::printf("CHECK PASSED\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace htvm
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_attention [--check]\n");
+      return 2;
+    }
+  }
+  return htvm::Run(check);
+}

@@ -8,15 +8,16 @@
 //
 // Mixed-fleet mode (--fleet <name:count,...>): sweeps QPS over a
 // heterogeneous fleet twice — model-aware placement vs the round-robin
-// baseline — serving DS-CNN and ResNet together. With --check the run
-// exits non-zero unless model-aware wins on mean latency, which is the
-// acceptance gate CI runs.
+// baseline — serving DS-CNN, ResNet and the transformer together. With
+// --check the run exits non-zero unless model-aware wins on mean latency,
+// which is the acceptance gate CI runs.
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "models/registry.hpp"
 #include "hw/soc.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
@@ -85,11 +86,10 @@ serve::ServingMetrics RunMixedFleet(const std::vector<std::string>& kinds,
   options.max_batch = 4;
   serve::InferenceServer server(options);
   const compiler::CompileOptions compile_options;
-  for (const char* name : {"dscnn", "resnet"}) {
-    const Graph net = name[0] == 'd'
-        ? models::BuildDsCnn(models::PrecisionPolicy::kMixed)
-        : models::BuildResNet8(models::PrecisionPolicy::kMixed);
-    auto handle = server.RegisterModel(name, net, compile_options, seed);
+  for (const char* name : {"dscnn", "resnet", "transformer"}) {
+    auto net = models::BuildByName(name, models::PrecisionPolicy::kMixed);
+    HTVM_CHECK_MSG(net.ok(), "unknown model in mixed fleet");
+    auto handle = server.RegisterModel(name, *net, compile_options, seed);
     HTVM_CHECK_MSG(handle.ok(), "RegisterModel failed");
   }
   const auto trace =
@@ -107,7 +107,8 @@ serve::ServingMetrics RunMixedFleet(const std::vector<std::string>& kinds,
 int MixedFleetMain(const std::string& spec, bool check) {
   using namespace htvm;
   const std::vector<std::string> kinds = ParseFleetSpec(spec);
-  bench::PrintHeader("Mixed-fleet placement — DS-CNN + ResNet, mixed config");
+  bench::PrintHeader(
+      "Mixed-fleet placement — DS-CNN + ResNet + Transformer, mixed config");
   std::printf("fleet:");
   for (const auto& k : kinds) std::printf(" %s", k.c_str());
   std::printf("\n\n%-8s %-14s %10s %10s %10s %10s %10s\n", "qps", "placement",

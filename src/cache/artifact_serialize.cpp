@@ -739,7 +739,8 @@ Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {
             s.spec.oy >> s.spec.ox >> s.spec.kh >> s.spec.kw >> s.spec.sy >>
             s.spec.sx >> s.spec.pad_t >> s.spec.pad_l >> s.spec.pad_b >>
             s.spec.pad_r;
-        if (!sls || kind < 0 || kind > 3) {
+        if (!sls || kind < 0 ||
+            kind > static_cast<int>(dory::LayerKind::kMatmul)) {
           return Status::InvalidArgument("truncated spec record");
         }
         s.spec.kind = static_cast<dory::LayerKind>(kind);

@@ -20,6 +20,7 @@ bool DigitalSupports(const dory::AccelLayerSpec& spec,
       return true;
     case LayerKind::kDense:
     case LayerKind::kAdd:
+    case LayerKind::kMatmul:
       return true;
   }
   (void)cfg;
@@ -46,6 +47,9 @@ bool AnalogSupports(const dory::AccelLayerSpec& spec,
     }
     case LayerKind::kDwConv2d:
     case LayerKind::kAdd:
+    case LayerKind::kMatmul:
+      // Activation rows stream through the array too fast to amortize a
+      // ternary reprogram per row; matmuls stay on the digital path.
       return false;
   }
   return false;

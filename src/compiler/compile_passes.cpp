@@ -1,7 +1,12 @@
 #include "compiler/compile_passes.hpp"
 
+#include <algorithm>
+
 #include "compiler/memory_planner.hpp"
+#include "dory/schedule.hpp"
 #include "dory/schedule_search.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/cpu.hpp"
 #include "dory/weight_layout.hpp"
 #include "ir/passes.hpp"
 #include "ir/structural_hash.hpp"
@@ -105,6 +110,86 @@ std::string ScheduleMemoKey(const Graph& body, const CompileOptions& options,
   return "sched-" + h.Digest().ToHex();
 }
 
+// Whole-block MHSA kernel (diana.mhsa): the digital array executes the
+// four projection matmuls (heuristic DORY schedules), the closed-form cost
+// model prices the activation x activation score/context matmuls at
+// whole-layer tiles, and the glue (softmax, requants, layout ops) is
+// charged at CPU rates. Deliberately schedule-free: execution replays the
+// body on the reference interpreter, which is what keeps the fused block
+// bit-exact on every SoC; only the performance/size accounting is
+// accelerator-aware. Heuristic schedules record no search statistics, so
+// the warm-compile `evaluations=0` invariant is untouched by MHSA kernels.
+Status CompileMhsaKernel(const Node& n, const CompileOptions& options,
+                         CompiledKernel* kernel) {
+  const Graph& body = *n.body;
+  const hw::DianaConfig& cfg = options.soc.config;
+  const hw::CostModel cost(cfg);
+  hw::KernelPerf& perf = kernel->perf;
+  perf.name = kernel->name;
+  perf.target = kernel->target;
+  kernel->code_bytes = tvmgen::CpuKernelCodeBytes(options.size_model, n);
+  kernel->weight_bytes = 0;
+  for (const Node& op : body.nodes()) {
+    if (op.kind != NodeKind::kOp) continue;
+    perf.macs += hw::ComputeOpWork(body, op).macs;
+    if (op.op != "matmul") {
+      const i64 cycles = hw::CpuOpCycles(cfg.cpu, body, op);
+      perf.compute_cycles += cycles;
+      perf.full_cycles += cycles;
+      continue;
+    }
+    const TensorType& at = body.node(op.inputs[0]).type;
+    const Node& rhs = body.node(op.inputs[1]);
+    if (rhs.kind == NodeKind::kConstant) {
+      // Projection matmul: a real tiled digital schedule, heuristic pick.
+      dory::AccelLayerSpec spec;
+      spec.kind = dory::LayerKind::kMatmul;
+      spec.c = rhs.type.shape[1];
+      spec.k = rhs.type.shape[0];
+      spec.oy = spec.iy = at.shape[0];
+      spec.weight_dtype = rhs.type.dtype;
+      HTVM_ASSIGN_OR_RETURN(
+          sched, dory::BuildSchedule(spec, cfg, dory::AccelTarget::kDigital,
+                                     options.tiler));
+      perf.compute_cycles += sched.compute_cycles;
+      perf.weight_dma_cycles += sched.weight_dma_cycles;
+      perf.act_dma_cycles += sched.exposed_act_cycles;
+      perf.overhead_cycles += sched.overhead_cycles;
+      perf.peak_cycles = std::max(perf.peak_cycles, sched.peak_cycles);
+      perf.full_cycles += sched.full_cycles;
+      perf.tiles += static_cast<i64>(sched.steps.size());
+      kernel->code_bytes += tvmgen::AccelKernelCodeBytes(
+          options.size_model, sched.solution.needs_tiling);
+      kernel->weight_bytes +=
+          dory::DeployedWeightBytes(spec, cfg, dory::AccelTarget::kDigital);
+    } else {
+      // Score / context matmul on activations: closed-form whole-tile
+      // estimate, batched heads folded onto the row axis.
+      const TensorType& bt = rhs.type;
+      const bool tb = op.attrs.GetInt("transpose_b", 1) != 0;
+      const i64 m = at.shape[at.shape.rank() - 2];
+      const i64 kk = at.shape[at.shape.rank() - 1];
+      const i64 cols = tb ? bt.shape[bt.shape.rank() - 2]
+                          : bt.shape[bt.shape.rank() - 1];
+      const i64 batch = at.shape.NumElements() / (m * kk);
+      hw::TiledLayerGeom g;
+      g.op = hw::TiledOp::kMatmul;
+      g.c = g.c_t = kk;
+      g.k = g.k_t = cols;
+      g.oy = g.oy_t = g.iy = g.iy_t = batch * m;
+      const i64 full = cost.EstimateAccelFullCycles(hw::AccelEngine::kDigital, g);
+      perf.compute_cycles += full;
+      perf.peak_cycles = std::max(perf.peak_cycles, full);
+      perf.full_cycles += full;
+      perf.tiles += 1;
+    }
+  }
+  perf.overhead_cycles += cfg.runtime_call_overhead;
+  perf.full_cycles += cfg.runtime_call_overhead;
+  perf.peak_cycles = std::max(perf.peak_cycles, perf.full_cycles);
+  return Status::Ok();
+}
+
 // Each composite's schedule is independent, so the per-kernel loop is
 // sharded over the shared thread pool (options.compile_threads lanes).
 // Determinism contract (locked down by tests/parallel_compile_test.cpp):
@@ -143,6 +228,8 @@ class CompileKernelsPass final : public Pass {
         kernel.perf = tvmgen::CpuCompositePerf(options.soc.config, n, kernel.name);
         kernel.code_bytes = tvmgen::CpuKernelCodeBytes(options.size_model, n);
         kernel.weight_bytes = tvmgen::CpuKernelWeightBytes(n);
+      } else if (n.op == "diana.mhsa") {
+        HTVM_RETURN_IF_ERROR(CompileMhsaKernel(n, options, &kernel));
       } else {
         const dory::AccelTarget accel_target =
             kernel.target == "analog" ? dory::AccelTarget::kAnalog

@@ -55,6 +55,23 @@ Result<dory::AccelLayerSpec> SpecFromMatch(const Graph& graph,
     spec.c = data.shape[1];
     spec.k = weight.shape[0];
     spec.weight_dtype = weight.dtype;
+  } else if (anchor.op == "matmul") {
+    const TensorType& data = graph.node(anchor.inputs[0]).type;
+    const Node& weight = graph.node(anchor.inputs[1]);
+    if (weight.kind != NodeKind::kConstant) {
+      return Status::Unsupported("matmul: activation weights stay on CPU");
+    }
+    if (anchor.attrs.GetInt("transpose_b", 1) == 0) {
+      return Status::Unsupported("matmul: accel path needs [N, K] weight");
+    }
+    if (data.shape.rank() != 2 || weight.type.shape.rank() != 2) {
+      return Status::Unsupported("matmul: rank-2 operands required");
+    }
+    spec.kind = dory::LayerKind::kMatmul;
+    spec.c = data.shape[1];
+    spec.k = weight.type.shape[0];
+    spec.oy = spec.iy = data.shape[0];
+    spec.weight_dtype = weight.type.dtype;
   } else if (anchor.op == "add") {
     const TensorType& lhs = graph.node(anchor.inputs[0]).type;
     spec.kind = dory::LayerKind::kAdd;
@@ -137,12 +154,71 @@ MatchPredicate MakeDianaPredicate(const DispatchOptions& options,
   };
 }
 
+// Whole-block MHSA acceptance: every head-projection / output-projection
+// matmul must be digitally supported and individually tileable into L1.
+// The probe mirrors what CompileKernels later schedules, so acceptance
+// here can never strand an uncompilable kernel.
+MatchPredicate MakeMhsaPredicate(const DispatchOptions& options,
+                                 const hw::DianaConfig& cfg,
+                                 const dory::TilerOptions& tiler_options,
+                                 DispatchLog* log) {
+  return [options, cfg, tiler_options, log](
+             const Graph& graph, const MatchResult& match, AttrMap* attrs) {
+    const auto anchor_it = match.bindings.find("anchor");
+    if (anchor_it == match.bindings.end()) return false;
+    const Node& anchor = graph.node(anchor_it->second);
+    // All four projections share the sequence length of the block input.
+    const i64 rows = graph.node(anchor.inputs[0]).type.shape[0];
+    static constexpr const char* kWeights[] = {"q_weight", "k_weight",
+                                               "v_weight", "o_weight"};
+    for (const char* label : kWeights) {
+      const auto it = match.bindings.find(label);
+      if (it == match.bindings.end()) return false;
+      const TensorType& wt = graph.node(it->second).type;
+      dory::AccelLayerSpec spec;
+      spec.kind = dory::LayerKind::kMatmul;
+      spec.c = wt.shape[1];
+      spec.k = wt.shape[0];
+      spec.oy = spec.iy = rows;
+      spec.weight_dtype = wt.dtype;
+      if (!DigitalSupports(spec, cfg)) {
+        LogDecision(log, graph, match, "diana.mhsa", &spec, "cpu",
+                    StrFormat("%s not digitally supported", label));
+        return false;
+      }
+      auto tiling = dory::SolveTiling(spec, cfg, dory::AccelTarget::kDigital,
+                                      tiler_options);
+      if (!tiling.ok()) {
+        LogDecision(log, graph, match, "diana.mhsa", &spec, "cpu",
+                    StrFormat("%s tiling infeasible: %s", label,
+                              tiling.status().message().c_str()));
+        return false;
+      }
+    }
+    attrs->Set("target", std::string("digital"));
+    LogDecision(log, graph, match, "diana.mhsa", nullptr, "digital",
+                "whole attention block -> digital array");
+    return true;
+  };
+}
+
 }  // namespace
 
 std::vector<PatternRule> MakeDianaDispatchRules(
     const DispatchOptions& options, const hw::DianaConfig& cfg,
     const dory::TilerOptions& tiler_options, DispatchLog* log) {
   std::vector<PatternRule> rules;
+  if (options.enable_attention_offload && options.enable_digital) {
+    // Higher priority than the per-op rules so PartitionGraph hands the
+    // whole attention block to the digital accelerator in one piece.
+    rules.push_back({"diana.mhsa", MultiHeadSelfAttentionPattern(),
+                     MakeMhsaPredicate(options, cfg, tiler_options, log),
+                     20});
+    rules.push_back({"diana.matmul", MatmulChainPattern(),
+                     MakeDianaPredicate(options, cfg, tiler_options,
+                                        "diana.matmul", log),
+                     10});
+  }
   rules.push_back({"diana.conv2d", ConvChainPattern(),
                    MakeDianaPredicate(options, cfg, tiler_options,
                                       "diana.conv2d", log),
@@ -183,6 +259,13 @@ std::vector<PatternRule> MakeDianaDispatchRules(
   DispatchOptions gated = options;
   gated.enable_digital = gated.enable_digital && soc.has_digital;
   gated.enable_analog = gated.enable_analog && soc.has_analog;
+  // Attention offload is reserved for the full-featured SoCs: reduced
+  // variants (no analog array, scalar host) execute transformer blocks
+  // per-op on the CPU path instead, which is exactly the fallback the
+  // transformer differential tests pin down.
+  gated.enable_attention_offload = gated.enable_attention_offload &&
+                                   soc.has_digital && soc.has_analog &&
+                                   soc.simd == hw::CpuSimdClass::kXpulpV2;
   return MakeDianaDispatchRules(gated, soc.config, tiler_options, log);
 }
 

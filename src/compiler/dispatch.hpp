@@ -21,6 +21,12 @@ struct DispatchOptions {
   // chains neither accelerator accepted (the Sec. V extension hook:
   // "HTVM can easily be expanded with other BYOC codegens").
   bool enable_tuned_cpu_library = false;
+  // Transformer workloads: whole-MHSA-block offload (diana.mhsa) and
+  // constant-weight matmul chains (diana.matmul) on the digital array. The
+  // SoC-family overload additionally restricts this to full-featured SoCs
+  // (digital + analog + XpulpV2 host); reduced variants run attention
+  // per-op on the CPU.
+  bool enable_attention_offload = true;
 };
 
 // Builds the layer geometry for a structural match, reading the anchor op

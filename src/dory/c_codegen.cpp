@@ -267,6 +267,67 @@ std::string EmitDense(const AccelSchedule& sched, const std::string& fn,
   return c;
 }
 
+std::string EmitMatmul(const AccelSchedule& sched, const std::string& fn,
+                       const std::string& wsym, const std::string& bsym) {
+  const AccelLayerSpec& s = sched.spec;
+  const TileSolution& sol = sched.solution;
+  std::string c;
+  c += StrFormat(
+      "// %s: matmul [%lld, %lld] x [%lld, %lld]^T on the digital array\n",
+      fn.c_str(), (long long)s.oy, (long long)s.c, (long long)s.k,
+      (long long)s.c);
+  c += StrFormat(
+      "// tile grid k%lld c%lld m%lld (%zu tiles), %lld B L1 per set\n",
+      (long long)sol.n_k, (long long)sol.n_c, (long long)sol.n_y,
+      sched.steps.size(), (long long)sol.l1_bytes);
+  c += StrFormat("void %s(const int8_t* l2_in, int8_t* l2_out) {\n",
+                 fn.c_str());
+  c += GeometryEnums(s, sol);
+  c += StrFormat("  static int8_t l1_in[2][%lld];\n",
+                 (long long)(sol.oy_t * sol.c_t));
+  c += StrFormat("  static int8_t l1_out[2][%lld];\n",
+                 (long long)(sol.oy_t * sol.k_t));
+  if (sol.psum) {
+    c += StrFormat("  static int32_t l1_psum[%lld];\n",
+                   (long long)(sol.oy_t * sol.k_t));
+  }
+  c += StrFormat("  static int8_t l1_w[%lld];\n",
+                 (long long)(sol.k_t * sol.c_t));
+  c += WeightOffsetTable(TileMajorWeightOffsets(sched));
+  c += "  int db = 0;\n";
+  c += "  for (int kt = 0; kt < NK; ++kt) {\n";
+  c += "    const int k0 = kt * KT;\n";
+  c += "    const int k_t = K - k0 < KT ? K - k0 : KT;\n";
+  c += "    for (int yt = 0; yt < NY; ++yt) {\n";
+  c += "      const int y0 = yt * OYT;\n";
+  c += "      const int oy_t = OY - y0 < OYT ? OY - y0 : OYT;\n";
+  c += "      for (int ct = 0; ct < NC; ++ct) {\n";
+  c += "        const int c0 = ct * CT;\n";
+  c += "        const int c_t = C - c0 < CT ? C - c0 : CT;\n";
+  c += "        htvm_dma_2d(l1_in[db], l2_in + (size_t)y0 * C + c0,\n";
+  c += "                    (uint32_t)oy_t, (uint32_t)c_t, (uint32_t)c_t, "
+       "(uint32_t)C);\n";
+  c += StrFormat(
+      "        htvm_dma_1d(l1_w, %s + w_off[kt * NC + ct],\n"
+      "                    (uint32_t)((size_t)k_t * c_t));\n",
+      wsym.c_str());
+  c += "        const htvm_accel_tile_t t = {(uint16_t)k_t, (uint16_t)c_t,\n";
+  c += "            (uint16_t)oy_t, 1, (uint16_t)oy_t, 1, 1, 1, 1, 1,\n";
+  c += "            (uint8_t)(ct == 0), (uint8_t)(ct == NC - 1), SHIFT, "
+       "RELU};\n";
+  c += StrFormat(
+      "        diana_digital_matmul(l1_in[db], l1_w, %s + k0, l1_out[db],%s "
+      "&t);\n",
+      bsym.c_str(), sol.psum ? " l1_psum," : " (int32_t*)0,");
+  c += "      }\n";
+  c += "      htvm_dma_2d(l2_out + (size_t)y0 * K + k0, l1_out[db],\n";
+  c += "                  (uint32_t)oy_t, (uint32_t)k_t, (uint32_t)K, "
+       "(uint32_t)k_t);\n";
+  c += "      db ^= 1;\n";
+  c += "    }\n  }\n}\n";
+  return c;
+}
+
 std::string EmitAdd(const AccelSchedule& sched, const std::string& fn) {
   const AccelLayerSpec& s = sched.spec;
   const TileSolution& sol = sched.solution;
@@ -396,6 +457,8 @@ Result<std::string> EmitAccelKernelC(const AccelSchedule& sched,
       return EmitDwConv(sched, fn_name, weights_sym, bias_sym);
     case LayerKind::kDense:
       return EmitDense(sched, fn_name, weights_sym, bias_sym);
+    case LayerKind::kMatmul:
+      return EmitMatmul(sched, fn_name, weights_sym, bias_sym);
     case LayerKind::kAdd:
       return EmitAdd(sched, fn_name);
   }

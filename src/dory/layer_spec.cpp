@@ -8,6 +8,7 @@ const char* LayerKindName(LayerKind kind) {
     case LayerKind::kDwConv2d: return "dwconv2d";
     case LayerKind::kDense: return "dense";
     case LayerKind::kAdd: return "add";
+    case LayerKind::kMatmul: return "matmul";
   }
   return "?";
 }
@@ -18,6 +19,7 @@ i64 AccelLayerSpec::WeightElems() const {
     case LayerKind::kDwConv2d: return c * kh * kw;
     case LayerKind::kDense: return k * c;
     case LayerKind::kAdd: return 0;
+    case LayerKind::kMatmul: return k * c;  // [N, K] weight, shared by rows
   }
   return 0;
 }
@@ -28,6 +30,7 @@ i64 AccelLayerSpec::Macs() const {
     case LayerKind::kDwConv2d: return c * oy * ox * kh * kw;
     case LayerKind::kDense: return k * c;
     case LayerKind::kAdd: return 0;  // adds are not MACs
+    case LayerKind::kMatmul: return k * c * oy;  // N * K per output row
   }
   return 0;
 }
@@ -36,7 +39,8 @@ Result<AccelLayerSpec> AnalyzeCompositeBody(const Graph& body) {
   // Locate the accumulating anchor op.
   const Node* anchor = nullptr;
   for (const Node& n : body.nodes()) {
-    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense") || n.IsOp("add")) {
+    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense") || n.IsOp("add") ||
+        n.IsOp("matmul")) {
       if (anchor != nullptr) {
         return Status::Unsupported("composite body has multiple anchors");
       }
@@ -89,6 +93,20 @@ Result<AccelLayerSpec> AnalyzeCompositeBody(const Graph& body) {
     spec.kind = LayerKind::kDense;
     spec.c = data.shape[1];
     spec.k = weight.type.shape[0];
+    spec.weight_dtype = weight.type.dtype;
+  } else if (anchor->op == "matmul") {
+    const TensorType& data = body.node(anchor->inputs[0]).type;
+    const Node& weight = body.node(anchor->inputs[1]);
+    if (anchor->attrs.GetInt("transpose_b", 1) == 0) {
+      return Status::Unsupported("matmul: accel path needs [N, K] weight");
+    }
+    if (data.shape.rank() != 2 || weight.type.shape.rank() != 2) {
+      return Status::Unsupported("matmul: rank-2 operands required");
+    }
+    spec.kind = LayerKind::kMatmul;
+    spec.c = data.shape[1];          // reduction K
+    spec.k = weight.type.shape[0];   // output features N
+    spec.oy = spec.iy = data.shape[0];  // rows M on the spatial axis
     spec.weight_dtype = weight.type.dtype;
   } else {  // add
     const TensorType& lhs = body.node(anchor->inputs[0]).type;

@@ -12,7 +12,11 @@
 
 namespace htvm::dory {
 
-enum class LayerKind : u8 { kConv2d, kDwConv2d, kDense, kAdd };
+// kMatmul is the transformer projection GEMM [M, K] x [N, K]^T -> [M, N];
+// the tiler maps M onto the spatial axis (oy, iy), K onto the channel
+// reduction (c) and N onto the output channels (k), so (M, N, K) tile
+// shapes reuse the conv tiling machinery unchanged (ox == ix == 1).
+enum class LayerKind : u8 { kConv2d, kDwConv2d, kDense, kAdd, kMatmul };
 
 const char* LayerKindName(LayerKind kind);
 

@@ -61,6 +61,12 @@ i64 StepComputeCycles(const AccelLayerSpec& spec, const hw::DianaConfig& cfg,
       // Elementwise add runs on the output SIMD stage: read 2, add, requant.
       cycles = 2 * hw::DigitalPostCycles(cfg.digital, out_elems);
       break;
+    case LayerKind::kMatmul:
+      // One dense pass per output row of the M tile; the weight tile stays
+      // resident across the rows.
+      cycles =
+          s.oy_t * hw::DigitalDenseComputeCycles(cfg.digital, s.c_t, s.k_t);
+      break;
   }
   if (s.last_c && spec.kind != LayerKind::kAdd) {
     cycles += hw::DigitalPostCycles(cfg.digital, out_elems);
@@ -80,6 +86,10 @@ i64 StepInDmaCycles(const AccelLayerSpec& spec, const hw::DianaConfig& cfg,
     case LayerKind::kAdd:
       return 2 * hw::ActTileDmaCost(cfg.dma, spec.c, spec.iy, spec.ix, s.c_t,
                                     s.oy_t, s.ox_t);
+    case LayerKind::kMatmul:
+      // oy_t row segments of c_t contiguous bytes out of the [M, K] input.
+      return hw::ActTileDmaCost(cfg.dma, 1, spec.oy, spec.c, 1, s.oy_t,
+                                s.c_t);
   }
   return 0;
 }
@@ -95,6 +105,9 @@ i64 StepOutDmaCycles(const AccelLayerSpec& spec, const hw::DianaConfig& cfg,
                                 s.oy_t, s.ox_t);
     case LayerKind::kDense:
       return hw::DmaCost1d(cfg.dma, s.k_t);
+    case LayerKind::kMatmul:
+      return hw::ActTileDmaCost(cfg.dma, 1, spec.oy, spec.k, 1, s.oy_t,
+                                s.k_t);
   }
   return 0;
 }

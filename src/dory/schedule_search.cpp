@@ -24,6 +24,8 @@ hw::TiledOp ToTiledOp(LayerKind kind) {
       return hw::TiledOp::kDense;
     case LayerKind::kAdd:
       return hw::TiledOp::kAdd;
+    case LayerKind::kMatmul:
+      return hw::TiledOp::kMatmul;
   }
   return hw::TiledOp::kConv2d;
 }

@@ -142,6 +142,46 @@ Result<Tensor> ExecuteDense(const AccelSchedule& sched, const Tensor& data,
   return out;
 }
 
+Result<Tensor> ExecuteMatmul(const AccelSchedule& sched, const Tensor& data,
+                             const Tensor& weight, const Tensor& bias) {
+  // data [M, K] x weight [N, K] -> int8 [M, N]; (k, y) output tiles with
+  // the c reduction innermost, mirroring ExecuteDense row by row.
+  const AccelLayerSpec& spec = sched.spec;
+  Tensor out(Shape{spec.oy, spec.k}, DType::kInt8);
+  std::vector<i64> psum(static_cast<size_t>(spec.k * spec.oy), 0);
+  for (const TileStep& s : sched.steps) {
+    if (s.first_c) {
+      for (i64 y = 0; y < s.oy_t; ++y) {
+        for (i64 k = 0; k < s.k_t; ++k) {
+          psum[static_cast<size_t>((s.y0 + y) * spec.k + s.k0 + k)] = 0;
+        }
+      }
+    }
+    for (i64 y = 0; y < s.oy_t; ++y) {
+      for (i64 k = 0; k < s.k_t; ++k) {
+        i64 acc = 0;
+        for (i64 c = 0; c < s.c_t; ++c) {
+          acc += data.GetFlat((s.y0 + y) * spec.c + s.c0 + c) *
+                 weight.GetFlat((s.k0 + k) * spec.c + s.c0 + c);
+        }
+        psum[static_cast<size_t>((s.y0 + y) * spec.k + s.k0 + k)] += acc;
+      }
+    }
+    if (s.last_c) {
+      for (i64 y = 0; y < s.oy_t; ++y) {
+        for (i64 k = 0; k < s.k_t; ++k) {
+          const i64 acc =
+              psum[static_cast<size_t>((s.y0 + y) * spec.k + s.k0 + k)] +
+              bias.GetFlat(s.k0 + k);
+          out.SetFlat((s.y0 + y) * spec.k + s.k0 + k,
+                      RequantizeValueAt(acc, spec.requant, s.k0 + k));
+        }
+      }
+    }
+  }
+  return out;
+}
+
 Result<Tensor> ExecuteAdd(const AccelSchedule& sched, const Tensor& lhs,
                           const Tensor& rhs) {
   const AccelLayerSpec& spec = sched.spec;
@@ -196,6 +236,12 @@ Result<Tensor> ExecuteTiled(const AccelSchedule& schedule,
         return Status::InvalidArgument("add: two inputs required");
       }
       return ExecuteAdd(schedule, data, inputs[1]);
+    }
+    case LayerKind::kMatmul: {
+      if (weight == nullptr || bias == nullptr) {
+        return Status::InvalidArgument("matmul: weight/bias required");
+      }
+      return ExecuteMatmul(schedule, data, *weight, *bias);
     }
   }
   return Status::Internal("bad layer kind");

@@ -38,6 +38,11 @@ i64 WeightTileBytes(const AccelLayerSpec& spec, AccelTarget target, i64 c_t,
     }
     case LayerKind::kAdd:
       return 0;
+    case LayerKind::kMatmul: {
+      // The [N, K] weight tile is shared by every row of the M axis.
+      const i64 elems = k_t * c_t;
+      return target == AccelTarget::kAnalog ? CeilDiv(elems * 2, 8) : elems;
+    }
   }
   return 0;
 }
@@ -86,6 +91,13 @@ i64 TileL1Bytes(const AccelLayerSpec& spec, AccelTarget target,
       return c_t * db + k_t * (psum ? 4 : db);
     case LayerKind::kAdd:
       return 2 * c_t * oy_t * ox_t * db + c_t * oy_t * ox_t * db;
+    case LayerKind::kMatmul: {
+      // oy_t rows of K-slice input, oy_t x k_t output (int32 while partial
+      // sums are live, int8 once the requant ran).
+      const i64 in = c_t * oy_t;
+      const i64 out = k_t * oy_t * (psum ? 4 : 1);
+      return in * db + out * (psum ? 1 : db);
+    }
   }
   (void)target;
   return 0;
@@ -157,6 +169,15 @@ std::vector<TileSolution> EnumerateTileCandidates(const AccelLayerSpec& spec,
       oy_cands = TileCandidates(spec.oy, 4);
       ox_cands = TileCandidates(spec.ox, 4);
       break;
+    case LayerKind::kMatmul:
+      // (M, N, K) tiles: N/K step on the PE grid like dense, the M row
+      // axis steps like a spatial dim so search can trade rows for
+      // channel depth within the L1 budget.
+      k_cands = analog ? std::vector<i64>{spec.k} : TileCandidates(spec.k, pe);
+      c_cands = analog ? std::vector<i64>{spec.c} : TileCandidates(spec.c, pe);
+      oy_cands = TileCandidates(spec.oy, 4);
+      ox_cands = {1};
+      break;
   }
 
   std::vector<TileSolution> out;
@@ -167,7 +188,8 @@ std::vector<TileSolution> EnumerateTileCandidates(const AccelLayerSpec& spec,
                           ? c_t
                           : k_raw;
       const bool psum = (spec.kind == LayerKind::kConv2d ||
-                         spec.kind == LayerKind::kDense) &&
+                         spec.kind == LayerKind::kDense ||
+                         spec.kind == LayerKind::kMatmul) &&
                         c_t < spec.c;
       if (WeightTileBytes(spec, target, c_t, k_t) > weight_mem) continue;
       for (const i64 oy_t : oy_cands) {
@@ -217,7 +239,7 @@ double HeuristicObjective(const AccelLayerSpec& spec,
     // Normalized to [0, 1].
     const double norm = static_cast<double>(pe - 1);
     double h_pe;
-    if (spec.kind == LayerKind::kDense) {
+    if (spec.kind == LayerKind::kDense || spec.kind == LayerKind::kMatmul) {
       h_pe = static_cast<double>((cand.c_t - 1) % pe + (cand.k_t - 1) % pe) /
              (2.0 * norm);
     } else {

@@ -17,6 +17,7 @@ i64 LayerWeightElems(const TiledLayerGeom& g) {
     case TiledOp::kDwConv2d:
       return g.c * g.kh * g.kw;
     case TiledOp::kDense:
+    case TiledOp::kMatmul:
       return g.k * g.c;
     case TiledOp::kAdd:
       return 0;
@@ -31,6 +32,7 @@ i64 TileWeightElems(const TiledLayerGeom& g) {
     case TiledOp::kDwConv2d:
       return g.c_t * g.kh * g.kw;
     case TiledOp::kDense:
+    case TiledOp::kMatmul:
       return g.k_t * g.c_t;
     case TiledOp::kAdd:
       return 0;
@@ -111,6 +113,12 @@ i64 CostModel::EstimateAccelFullCycles(AccelEngine engine,
       case TiledOp::kAdd:
         compute = steps * 2 * DigitalPostCycles(cfg_.digital, out_elems);
         break;
+      case TiledOp::kMatmul:
+        // One dense pass per row of the M tile (dory/schedule.cpp).
+        compute = steps * g.oy_t *
+                      DigitalDenseComputeCycles(cfg_.digital, g.c_t, g.k_t) +
+                  out_tiles * DigitalPostCycles(cfg_.digital, out_elems);
+        break;
     }
 
     if (g.op != TiledOp::kAdd) {
@@ -137,12 +145,23 @@ i64 CostModel::EstimateAccelFullCycles(AccelEngine engine,
         in_dma = 2 * ActTileDmaCost(cfg_.dma, g.c, g.iy, g.ix, g.c_t,
                                     g.oy_t, g.ox_t);
         break;
+      case TiledOp::kMatmul:
+        in_dma = ActTileDmaCost(cfg_.dma, 1, g.oy, g.c, 1, g.oy_t, g.c_t);
+        break;
     }
-    const i64 out_dma =
-        g.op == TiledOp::kDense
-            ? DmaCost1d(cfg_.dma, g.k_t)
-            : ActTileDmaCost(cfg_.dma, g.k, g.oy, g.ox, g.k_t, g.oy_t,
-                             g.ox_t);
+    i64 out_dma = 0;
+    switch (g.op) {
+      case TiledOp::kDense:
+        out_dma = DmaCost1d(cfg_.dma, g.k_t);
+        break;
+      case TiledOp::kMatmul:
+        out_dma = ActTileDmaCost(cfg_.dma, 1, g.oy, g.k, 1, g.oy_t, g.k_t);
+        break;
+      default:
+        out_dma = ActTileDmaCost(cfg_.dma, g.k, g.oy, g.ox, g.k_t, g.oy_t,
+                                 g.ox_t);
+        break;
+    }
     act_dma = steps * in_dma + out_tiles * out_dma;
 
     setup = steps * cfg_.digital.tile_setup_cycles;

@@ -31,7 +31,13 @@ namespace htvm::hw {
 enum class AccelEngine : u8 { kDigital = 0, kAnalog = 1 };
 
 // Operator class of the tiled layer (mirrors dory::LayerKind).
-enum class TiledOp : u8 { kConv2d = 0, kDwConv2d = 1, kDense = 2, kAdd = 3 };
+enum class TiledOp : u8 {
+  kConv2d = 0,
+  kDwConv2d = 1,
+  kDense = 2,
+  kAdd = 3,
+  kMatmul = 4,  // [M, K] x [N, K]^T: M on oy/iy, K on c, N on k
+};
 
 // Full layer geometry plus one candidate tile shape, flattened to plain
 // integers. iy_t/ix_t are the *input* extents the output tile consumes

@@ -14,6 +14,11 @@ OpWork ComputeOpWork(const Graph& graph, const Node& node) {
   } else if (node.op == "nn.dense") {
     const TensorType& weight = graph.node(node.inputs[1]).type;
     w.macs = w.out_elems * weight.shape[1];
+  } else if (node.op == "matmul") {
+    // Reduction depth is the last axis of the lhs regardless of the rhs
+    // layout (transpose_b only swaps which rhs axis it contracts with).
+    const Shape& lhs = graph.node(node.inputs[0]).type.shape;
+    w.macs = w.out_elems * lhs[lhs.rank() - 1];
   }
   return w;
 }
@@ -26,12 +31,20 @@ i64 CpuOpCycles(const CpuConfig& cfg, const Graph& graph, const Node& node) {
         w.is_dwconv ? cfg.dwconv_cycles_per_mac : cfg.conv_cycles_per_mac;
     return cycles(static_cast<double>(w.macs) * per_mac);
   }
-  if (node.op == "nn.dense") {
+  if (node.op == "nn.dense" || node.op == "matmul") {
     return cycles(static_cast<double>(w.macs) * cfg.dense_cycles_per_mac);
   }
-  if (node.op == "nn.softmax") {
+  if (node.op == "nn.softmax" || node.op == "nn.layernorm" ||
+      node.op == "nn.gelu") {
+    // The transcendental-flavored activations share the softmax rate: a
+    // table/fixed-point inner loop over the output elements.
     return cycles(static_cast<double>(w.out_elems) *
                   cfg.softmax_cycles_per_elem);
+  }
+  if (node.op == "transpose") {
+    // Pure data movement, strided reads: pool-class per-element cost.
+    return cycles(static_cast<double>(w.out_elems) *
+                  cfg.pool_cycles_per_elem);
   }
   if (node.op == "nn.avg_pool2d" || node.op == "nn.max_pool2d" ||
       node.op == "nn.global_avg_pool2d") {

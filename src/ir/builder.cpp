@@ -87,6 +87,42 @@ NodeId GraphBuilder::DenseBlock(NodeId data, i64 out_features, bool relu,
   return Requant(biased, shift, relu);
 }
 
+NodeId GraphBuilder::MatmulBlock(NodeId data, i64 out_features, bool relu,
+                                 i64 shift, const std::string& name) {
+  // Copy the geometry out: AddConstant/AddOp may reallocate the node
+  // vector, so a reference into it would dangle.
+  const i64 rank = graph_.node(data).type.shape.rank();
+  HTVM_CHECK_MSG(rank >= 2, "MatmulBlock needs rank >= 2 input");
+  const i64 k = graph_.node(data).type.shape[rank - 1];
+  Tensor weight = Tensor::Random(Shape{out_features, k}, DType::kInt8, rng_);
+  const NodeId w = graph_.AddConstant(std::move(weight), name + ".weight");
+  const NodeId mm = graph_.AddOp("matmul", {data, w},
+                                 AttrMap{{"transpose_b", i64{1}}}, name);
+  Tensor bias = Tensor::Random(Shape{out_features}, DType::kInt32, rng_);
+  const NodeId b = graph_.AddConstant(std::move(bias), name + ".bias");
+  const NodeId biased =
+      graph_.AddOp("nn.bias_add", {mm, b}, AttrMap{{"axis", rank - 1}});
+  return Requant(biased, shift, relu);
+}
+
+NodeId GraphBuilder::Transpose(NodeId data, std::vector<i64> axes) {
+  return graph_.AddOp("transpose", {data},
+                      AttrMap{{"axes", std::move(axes)}});
+}
+
+NodeId GraphBuilder::Reshape(NodeId data, std::vector<i64> new_shape) {
+  return graph_.AddOp("reshape", {data},
+                      AttrMap{{"new_shape", std::move(new_shape)}});
+}
+
+NodeId GraphBuilder::LayerNorm(NodeId data) {
+  return graph_.AddOp("nn.layernorm", {data});
+}
+
+NodeId GraphBuilder::Gelu(NodeId data) {
+  return graph_.AddOp("nn.gelu", {data});
+}
+
 NodeId GraphBuilder::AddBlock(NodeId lhs, NodeId rhs, bool relu, i64 shift) {
   const NodeId sum = graph_.AddOp("add", {lhs, rhs});
   return Requant(sum, shift, relu);

@@ -59,6 +59,16 @@ class GraphBuilder {
   NodeId Flatten(NodeId data);
   NodeId Softmax(NodeId data);
 
+  // Transformer-workload helpers. MatmulBlock is the dense-style
+  // constant-weight projection: matmul([.., M, K] x [N, K]) -> bias_add ->
+  // requant, the chain the `diana.matmul` pattern matches.
+  NodeId MatmulBlock(NodeId data, i64 out_features, bool relu = false,
+                     i64 shift = 7, const std::string& name = "");
+  NodeId Transpose(NodeId data, std::vector<i64> axes);
+  NodeId Reshape(NodeId data, std::vector<i64> new_shape);
+  NodeId LayerNorm(NodeId data);
+  NodeId Gelu(NodeId data);
+
   // Finalizes with a single output.
   Graph Finish(NodeId output);
 

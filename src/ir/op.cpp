@@ -86,6 +86,67 @@ Result<TensorType> InferDense(std::span<const TensorType> in,
   return TensorType{Shape{in[0].shape[0], in[1].shape[0]}, DType::kInt32};
 }
 
+Result<TensorType> InferMatmul(std::span<const TensorType> in,
+                               const AttrMap& attrs) {
+  // matmul(a, b): a is [..., M, K]; b is [N, K] ([K, N] with
+  // transpose_b=0). A rank-2 b broadcasts over a's batch dims; otherwise
+  // batch dims must match exactly. int8 x int8 accumulates into int32,
+  // mirroring nn.dense.
+  const Shape& a = in[0].shape;
+  const Shape& b = in[1].shape;
+  if (a.rank() < 2) return Status::InvalidArgument("matmul: lhs rank < 2");
+  if (b.rank() < 2) return Status::InvalidArgument("matmul: rhs rank < 2");
+  const bool transpose_b = attrs.GetInt("transpose_b", 1) != 0;
+  const i64 m = a[a.rank() - 2];
+  const i64 ka = a[a.rank() - 1];
+  const i64 kb = transpose_b ? b[b.rank() - 1] : b[b.rank() - 2];
+  const i64 n = transpose_b ? b[b.rank() - 2] : b[b.rank() - 1];
+  if (ka != kb) {
+    return Status::InvalidArgument(
+        StrFormat("matmul: reduction dims differ (%lld vs %lld)",
+                  static_cast<long long>(ka), static_cast<long long>(kb)));
+  }
+  std::vector<i64> out_dims;
+  for (i64 i = 0; i < a.rank() - 2; ++i) out_dims.push_back(a[i]);
+  if (b.rank() > 2) {
+    if (b.rank() != a.rank()) {
+      return Status::InvalidArgument("matmul: batch ranks differ");
+    }
+    for (i64 i = 0; i < b.rank() - 2; ++i) {
+      if (b[i] != a[i]) {
+        return Status::InvalidArgument("matmul: batch dims differ");
+      }
+    }
+  }
+  out_dims.push_back(m);
+  out_dims.push_back(n);
+  const DType out =
+      (in[0].dtype == DType::kInt8 && in[1].dtype == DType::kInt8)
+          ? DType::kInt32
+          : in[0].dtype;
+  return TensorType{Shape(out_dims), out};
+}
+
+Result<TensorType> InferTranspose(std::span<const TensorType> in,
+                                  const AttrMap& attrs) {
+  const Shape& d = in[0].shape;
+  std::vector<i64> axes = attrs.GetIntVec("axes");
+  if (static_cast<i64>(axes.size()) != d.rank()) {
+    return Status::InvalidArgument("transpose: axes size != rank");
+  }
+  std::vector<bool> seen(axes.size(), false);
+  std::vector<i64> out_dims(axes.size());
+  for (size_t i = 0; i < axes.size(); ++i) {
+    const i64 ax = axes[i];
+    if (ax < 0 || ax >= d.rank() || seen[static_cast<size_t>(ax)]) {
+      return Status::InvalidArgument("transpose: bad axes permutation");
+    }
+    seen[static_cast<size_t>(ax)] = true;
+    out_dims[i] = d[ax];
+  }
+  return TensorType{Shape(out_dims), in[0].dtype};
+}
+
 Result<TensorType> InferBiasAdd(std::span<const TensorType> in,
                                 const AttrMap& attrs) {
   const i64 axis = attrs.GetInt("axis", 1);
@@ -229,6 +290,10 @@ void RegisterCoreOps() {
     r.Register({"nn.max_pool2d", 1, InferPool2d});
     r.Register({"nn.global_avg_pool2d", 1, InferGlobalAvgPool});
     r.Register({"nn.softmax", 1, InferSameType});
+    r.Register({"matmul", 2, InferMatmul});
+    r.Register({"transpose", 1, InferTranspose});
+    r.Register({"nn.layernorm", 1, InferSameType});
+    r.Register({"nn.gelu", 1, InferSameType});
     r.Register({"reshape", 1, InferReshape});
     r.Register({"nn.flatten", 1, InferFlatten});
     r.Register({"nn.pad", 1, InferPad});

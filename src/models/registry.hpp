@@ -1,0 +1,30 @@
+// Shared model registry: one place mapping a model name to its builder and
+// default input shape, so htvmc, htvm-serve and the benches stop carrying
+// their own copies of the lookup loop.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "models/precision.hpp"
+
+namespace htvm::models {
+
+struct RegisteredModel {
+  const char* name;           // canonical lower-case lookup key
+  const char* task;           // benchmark task / workload family
+  Graph (*build)(PrecisionPolicy);
+  Shape default_input;        // shape of the graph's single input tensor
+};
+
+// All deployable models: the MLPerf Tiny suite (Table I order) plus the
+// transformer workload. Names are lower-case; lookups fold case.
+const std::vector<RegisteredModel>& Registry();
+
+// Case-insensitive lookup; NotFound lists the registered names.
+Result<Graph> BuildByName(const std::string& name, PrecisionPolicy policy);
+
+// One "name  task  input-shape" line per model (htvmc --list-models).
+std::string DescribeRegistry();
+
+}  // namespace htvm::models

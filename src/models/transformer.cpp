@@ -1,0 +1,65 @@
+#include "models/transformer.hpp"
+
+#include "support/logging.hpp"
+
+namespace htvm::models {
+namespace {
+
+// One attention block. The op chain mirrors MultiHeadSelfAttentionPattern
+// exactly: any structural drift here silently demotes the block from the
+// digital accelerator to per-op CPU kernels (transformer_test pins this).
+NodeId EncoderBlock(GraphBuilder& b, NodeId x, i64 heads, i64 d_model,
+                    i64 seq_len, const std::string& name) {
+  const i64 dh = d_model / heads;
+  const auto head_split = [&](NodeId in, const std::string& proj) {
+    const NodeId p = b.MatmulBlock(in, d_model, /*relu=*/false, /*shift=*/7,
+                                   name + "." + proj);
+    return b.Transpose(b.Reshape(p, {seq_len, heads, dh}), {1, 0, 2});
+  };
+  const NodeId q = head_split(x, "q");
+  const NodeId k = head_split(x, "k");
+  const NodeId v = head_split(x, "v");
+
+  // Scaled scores: Q K^T accumulates dh int8 products; shift 8 stands in
+  // for the 1/sqrt(dh) scale on the 1/16 activation grid.
+  const NodeId scores = b.graph().AddOp(
+      "matmul", {q, k}, AttrMap{{"transpose_b", i64{1}}}, name + ".scores");
+  const NodeId probs = b.Softmax(b.Requant(scores, /*shift=*/8,
+                                           /*relu=*/false));
+  const NodeId ctx = b.graph().AddOp(
+      "matmul", {probs, v}, AttrMap{{"transpose_b", i64{0}}}, name + ".ctx");
+  const NodeId merged = b.Reshape(
+      b.Transpose(b.Requant(ctx, /*shift=*/7, /*relu=*/false), {1, 0, 2}),
+      {seq_len, d_model});
+  const NodeId o = b.MatmulBlock(merged, d_model, /*relu=*/false,
+                                 /*shift=*/7, name + ".o");
+  x = b.LayerNorm(b.AddBlock(x, o, /*relu=*/false, /*shift=*/1));
+
+  // Feed-forward: expand 2x, GELU on the int8 grid, project back.
+  const NodeId h = b.Gelu(b.MatmulBlock(x, 2 * d_model, /*relu=*/false,
+                                        /*shift=*/7, name + ".ffn1"));
+  const NodeId f = b.MatmulBlock(h, d_model, /*relu=*/false, /*shift=*/7,
+                                 name + ".ffn2");
+  return b.LayerNorm(b.AddBlock(x, f, /*relu=*/false, /*shift=*/1));
+}
+
+}  // namespace
+
+Graph TinyTransformer(i64 depth, i64 heads, i64 d_model, i64 seq_len) {
+  HTVM_CHECK_MSG(depth >= 1 && heads >= 1, "need at least one block/head");
+  HTVM_CHECK_MSG(d_model % heads == 0, "d_model must divide into heads");
+  GraphBuilder b(/*seed=*/0xBEEF0005);
+  NodeId x = b.Input("tokens", Shape{seq_len, d_model});
+  for (i64 i = 0; i < depth; ++i) {
+    x = EncoderBlock(b, x, heads, d_model, seq_len,
+                     "blk" + std::to_string(i));
+  }
+  return b.Finish(x);
+}
+
+Graph BuildTinyTransformerDefault() {
+  return TinyTransformer(/*depth=*/2, /*heads=*/2, /*d_model=*/32,
+                         /*seq_len=*/16);
+}
+
+}  // namespace htvm::models

@@ -1,0 +1,28 @@
+// Tiny encoder-only transformer workload (attention extension, Sec. V
+// "HTVM can easily be expanded": the matmul-family ops stress the
+// diana.mhsa / diana.matmul dispatch paths end-to-end).
+//
+// Each block is classic pre-softmax int8 attention:
+//   Q/K/V projections (matmul + bias + requant, head split)
+//   scores = softmax(requant(Q K^T))
+//   context = requant(scores V), head merge, output projection
+//   residual add + integer layernorm
+//   FFN: matmul -> GELU (int8 LUT) -> matmul, residual + layernorm
+// All arithmetic is int8/int32 with the same requant motif as the CNN
+// models, so the graphs run bit-exact on the interpreter, the executor and
+// the emitted C.
+#pragma once
+
+#include "ir/builder.hpp"
+
+namespace htvm::models {
+
+// depth encoder blocks of `heads` heads over [seq_len, d_model] tokens.
+// d_model must be divisible by heads. The FFN hidden width is 2 * d_model.
+Graph TinyTransformer(i64 depth, i64 heads, i64 d_model, i64 seq_len);
+
+// The default configuration used by the model registry, benches and tests:
+// 2 blocks, 2 heads, d_model 32, sequence length 16.
+Graph BuildTinyTransformerDefault();
+
+}  // namespace htvm::models

@@ -38,6 +38,12 @@ Result<Tensor> EvalOp(const Node& node, std::span<const Tensor> inputs) {
   }
   if (op == "nn.global_avg_pool2d") return GlobalAvgPool2d(inputs[0]);
   if (op == "nn.softmax") return Softmax(inputs[0]);
+  if (op == "matmul") {
+    return MatMul(inputs[0], inputs[1], a.GetInt("transpose_b", 1) != 0);
+  }
+  if (op == "transpose") return Transpose(inputs[0], a.GetIntVec("axes"));
+  if (op == "nn.layernorm") return LayerNorm(inputs[0]);
+  if (op == "nn.gelu") return Gelu(inputs[0]);
   if (op == "nn.pad") {
     return Pad2d(inputs[0], a.GetIntVec("pad_width", {0, 0, 0, 0}));
   }

@@ -10,6 +10,8 @@
 // and overflow-free; outputs are narrowed exactly as the op semantics say.
 #pragma once
 
+#include <array>
+
 #include "ir/attrs.hpp"
 #include "support/status.hpp"
 #include "tensor/tensor.hpp"
@@ -52,6 +54,26 @@ Result<Tensor> GlobalAvgPool2d(const Tensor& data);
 
 // nn.pad: zero padding of the spatial dims, pad_width = [t, l, b, r].
 Result<Tensor> Pad2d(const Tensor& data, const std::vector<i64>& pad_width);
+
+// matmul: a [..., M, K] x b [N, K] (transpose_b, the dense/weight layout)
+// or [K, N]; rank-2 b broadcasts over a's batch dims. int8 x int8
+// accumulates into int32 like nn.dense.
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b, bool transpose_b);
+
+// transpose: permutes dims by `axes`.
+Result<Tensor> Transpose(const Tensor& data, const std::vector<i64>& axes);
+
+// nn.layernorm: int8 -> int8, zero-mean/unit-variance over the last axis on
+// the shared activation grid (value v models v/16); epsilon-stabilized for
+// near-zero variance rows.
+Result<Tensor> LayerNorm(const Tensor& data);
+
+// nn.gelu: elementwise int8 GELU on the shared activation grid (LUT-exact).
+Result<Tensor> Gelu(const Tensor& data);
+
+// The 256-entry int8 GELU lookup table (index = value + 128). The C
+// emitter embeds this table verbatim so deployed gelu is bit-identical.
+const std::array<i8, 256>& GeluTable();
 
 // Deterministic int8 softmax: exact max-subtraction + table-free
 // fixed-point exponent (matches itself across platforms; the paper's nets

@@ -45,4 +45,75 @@ PatternPtr AddChainPattern() {
   return RequantEpilogueNoBias(std::move(add));
 }
 
+PatternPtr MatmulChainPattern() {
+  // Only the dense-layout [N, K] weight form is offloadable; the tiler maps
+  // it onto the (M, N, K) matmul tiling space.
+  auto mm = Labeled(HasAttr(IsOp("matmul", {Wildcard(), Labeled(IsConstant(),
+                                                                "weight")}),
+                            "transpose_b", i64{1}),
+                    "anchor");
+  return RequantEpilogue(std::move(mm));
+}
+
+PatternPtr MatmulActChainPattern() {
+  // Both operands are activations (attention scores / context matmuls), so
+  // there is no bias and no weight constant; any transpose_b.
+  auto mm = Labeled(IsOp("matmul", {Wildcard(), Wildcard()}), "anchor");
+  return RequantEpilogueNoBias(std::move(mm));
+}
+
+namespace {
+
+// requant epilogues without the trailing label collisions — the MHSA tree
+// instantiates several epilogues, and MatchResult labels are last-write-wins.
+PatternPtr PlainRequant(PatternPtr anchor, bool with_bias) {
+  PatternPtr top = std::move(anchor);
+  if (with_bias) {
+    top = IsOp("nn.bias_add", {std::move(top), IsConstant()});
+  }
+  auto shift = IsOp("right_shift", {std::move(top), IsConstant()});
+  auto clip = IsOp("clip", {std::move(shift)});
+  auto cast =
+      HasAttr(IsOp("cast", {std::move(clip)}), "dtype", std::string("int8"));
+  return Optional(std::move(cast), "clip");
+}
+
+// One head-split projection branch: matmul(x, W) + requant -> reshape
+// [S, H, dh] -> transpose [H, S, dh].
+PatternPtr HeadProjection(const std::string& weight_label) {
+  auto mm = HasAttr(
+      IsOp("matmul", {Wildcard(), Labeled(IsConstant(), weight_label)}),
+      "transpose_b", i64{1});
+  auto q8 = PlainRequant(std::move(mm), /*with_bias=*/true);
+  auto heads = IsOp("reshape", {std::move(q8)});
+  return IsOp("transpose", {std::move(heads)});
+}
+
+}  // namespace
+
+PatternPtr MultiHeadSelfAttentionPattern() {
+  // QKV projections (shared input x dedupes into one composite input) ->
+  // scaled int8 softmax over Q K^T -> context matmul -> head merge ->
+  // output projection. The whole block becomes one `diana.mhsa` composite.
+  auto scores = HasAttr(
+      IsOp("matmul", {HeadProjection("q_weight"), HeadProjection("k_weight")}),
+      "transpose_b", i64{1});
+  auto probs =
+      Labeled(IsOp("nn.softmax", {PlainRequant(std::move(scores),
+                                               /*with_bias=*/false)}),
+              "probs");
+  auto ctx = HasAttr(
+      IsOp("matmul", {std::move(probs), HeadProjection("v_weight")}),
+      "transpose_b", i64{0});
+  auto merged = IsOp(
+      "reshape",
+      {IsOp("transpose", {PlainRequant(std::move(ctx), /*with_bias=*/false)})});
+  auto proj = Labeled(
+      HasAttr(IsOp("matmul", {std::move(merged),
+                              Labeled(IsConstant(), "o_weight")}),
+              "transpose_b", i64{1}),
+      "anchor");
+  return RequantEpilogue(std::move(proj));
+}
+
 }  // namespace htvm

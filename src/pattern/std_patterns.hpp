@@ -21,4 +21,18 @@ PatternPtr ConvChainPattern();   // covers depthwise via the groups attr
 PatternPtr DenseChainPattern();
 PatternPtr AddChainPattern();    // residual add + requant
 
+// matmul([.., M, K] x const [N, K]) + requant — the transformer projection
+// chain; same label set as the conv/dense chains.
+PatternPtr MatmulChainPattern();
+
+// matmul(activation, activation) + bias-free requant — the attention
+// scores / context matmuls when the MHSA block is executed per-op.
+PatternPtr MatmulActChainPattern();
+
+// Whole encoder attention block: QKV head-split projections -> scaled int8
+// softmax over Q K^T -> context matmul -> head merge -> output projection
+// (+ requant). Binds "anchor" on the output projection matmul plus
+// "q_weight"/"k_weight"/"v_weight"/"o_weight" and "probs".
+PatternPtr MultiHeadSelfAttentionPattern();
+
 }  // namespace htvm

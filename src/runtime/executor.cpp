@@ -13,7 +13,7 @@ void FindWeightBias(const Graph& body, const Tensor** weight,
   *weight = nullptr;
   *bias = nullptr;
   for (const Node& n : body.nodes()) {
-    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense")) {
+    if (n.IsOp("nn.conv2d") || n.IsOp("nn.dense") || n.IsOp("matmul")) {
       const Node& w = body.node(n.inputs[1]);
       if (w.kind == NodeKind::kConstant) *weight = &w.value;
     }

@@ -9,7 +9,8 @@ namespace {
 // Anchor = the op that dominates the kernel's cost; everything downstream
 // of it in the fused body is charged as a fused epilogue.
 bool IsAnchorOp(const std::string& op) {
-  return op == "nn.conv2d" || op == "nn.dense" || op == "nn.softmax" ||
+  return op == "nn.conv2d" || op == "nn.dense" || op == "matmul" ||
+         op == "nn.softmax" || op == "nn.layernorm" || op == "nn.gelu" ||
          op == "nn.avg_pool2d" || op == "nn.max_pool2d" ||
          op == "nn.global_avg_pool2d" || op == "add";
 }

@@ -16,6 +16,8 @@ Graph FuseCpuOps(const Graph& partitioned) {
   std::vector<PatternRule> rules;
   rules.push_back({"tvm.conv2d", ConvChainPattern(), accept_cpu, 0});
   rules.push_back({"tvm.dense", DenseChainPattern(), accept_cpu, 0});
+  rules.push_back({"tvm.matmul", MatmulChainPattern(), accept_cpu, 0});
+  rules.push_back({"tvm.matmul_act", MatmulActChainPattern(), accept_cpu, 0});
   rules.push_back({"tvm.add", AddChainPattern(), accept_cpu, 0});
   return PartitionGraph(partitioned, rules);
 }

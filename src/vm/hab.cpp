@@ -747,7 +747,7 @@ Result<dory::AccelSchedule> ReadSchedule(Reader& r) {
   s.full_cycles = full;
   dory::AccelLayerSpec& sp = s.spec;
   HTVM_ASSIGN_OR_RETURN(kind, r.U8());
-  if (kind > 3) {
+  if (kind > static_cast<u8>(dory::LayerKind::kMatmul)) {
     return Status::InvalidArgument("hab kernels section: bad layer kind");
   }
   sp.kind = static_cast<dory::LayerKind>(kind);

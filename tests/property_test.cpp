@@ -21,7 +21,8 @@
 namespace htvm {
 namespace {
 
-// Random small network: a chain of conv / dw / dense / pool / add stages.
+// Random small network: a chain of conv / dw / pool / add / layernorm /
+// gelu stages, optionally capped with a transformer-style matmul head.
 Graph RandomNetwork(Rng& rng, Shape* in_shape) {
   GraphBuilder b(rng.NextU64());
   i64 c = 1 + static_cast<i64>(rng.UniformInt(1, 3)) * 4;  // 8..16ish
@@ -31,7 +32,7 @@ Graph RandomNetwork(Rng& rng, Shape* in_shape) {
   const i64 stages = rng.UniformInt(2, 5);
   NodeId residual = kInvalidNode;
   for (i64 s = 0; s < stages; ++s) {
-    switch (rng.UniformInt(0, 3)) {
+    switch (rng.UniformInt(0, 5)) {
       case 0: {  // conv
         ConvSpec spec;
         spec.out_channels = static_cast<i64>(rng.UniformInt(1, 3)) * 8;
@@ -61,17 +62,31 @@ Graph RandomNetwork(Rng& rng, Shape* in_shape) {
         }
         break;
       }
-      default: {  // pool (shrinks spatial dims)
+      case 3: {  // pool (shrinks spatial dims)
         if (hw >= 4) {
           x = b.MaxPool(x, 2, 2);
           hw /= 2;
         }
         break;
       }
+      case 4: {  // integer layernorm over the innermost axis
+        x = b.LayerNorm(x);
+        break;
+      }
+      default: {  // GELU on the int8 activation grid
+        x = b.Gelu(x);
+        break;
+      }
     }
   }
   x = b.GlobalAvgPool(x);
   x = b.Flatten(x);
+  if (rng.UniformInt(0, 1) == 1) {
+    // Transformer-style head: constant-weight matmul chain + GELU +
+    // layernorm (the diana.matmul dispatch path on accelerator configs).
+    x = b.LayerNorm(b.Gelu(b.MatmulBlock(x, 8, /*relu=*/false, /*shift=*/6,
+                                         "mm_head")));
+  }
   x = b.DenseBlock(x, 4, /*relu=*/false, 6);
   return b.Finish(x);
 }

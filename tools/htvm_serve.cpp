@@ -19,7 +19,7 @@
 #include "cache/artifact_cache.hpp"
 #include "compiler/pipeline.hpp"
 #include "hw/soc.hpp"
-#include "models/mlperf_tiny.hpp"
+#include "models/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/trace.hpp"
 #include "support/string_utils.hpp"
@@ -260,13 +260,7 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
 
 Result<Graph> BuildModel(const std::string& name,
                          models::PrecisionPolicy policy) {
-  for (const auto& model : models::MlperfTinySuite()) {
-    std::string lower = model.name;
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    if (lower == name) return model.build(policy);
-  }
-  if (name == "dscnn") return models::BuildDsCnn(policy);
-  return Status::NotFound("unknown model '" + name + "'");
+  return models::BuildByName(name, policy);
 }
 
 }  // namespace

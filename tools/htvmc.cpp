@@ -22,7 +22,7 @@
 #include "hw/soc.hpp"
 #include "ir/dot.hpp"
 #include "ir/serialize.hpp"
-#include "models/mlperf_tiny.hpp"
+#include "models/registry.hpp"
 #include "runtime/energy.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/timeline.hpp"
@@ -55,6 +55,7 @@ struct CliOptions {
   bool energy = false;
   bool tuned_cpu = false;
   bool print_pass_times = false;
+  bool list_models = false;
   bool help = false;
 };
 
@@ -62,7 +63,8 @@ void PrintUsage() {
   std::printf(R"(htvmc — HTVM (reproduction) compiler driver
 
 input (one of):
-  --model <dscnn|mobilenet|resnet|toyadmos>   built-in MLPerf Tiny model
+  --model <name>                              built-in model from the shared
+                                              registry (--list-models)
   --graph <file.htvm>                         serialized graph (ir/serialize)
 
 options:
@@ -109,6 +111,7 @@ options:
                                               model, match-or-beat latency)
   --print-pass-times                          per-pass compile-time breakdown
                                               (no-change passes show skipped)
+  --list-models                               print the model registry
   --help                                      this text
 )");
 }
@@ -173,6 +176,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opt.schedule_search = v;
     } else if (arg == "--print-pass-times") {
       opt.print_pass_times = true;
+    } else if (arg == "--list-models") {
+      opt.list_models = true;
     } else if (arg == "--l1") {
       HTVM_ASSIGN_OR_RETURN(v, value());
       opt.l1_kb = std::atoll(v.c_str());
@@ -199,17 +204,7 @@ Result<Graph> LoadNetwork(const CliOptions& opt,
   if (!opt.graph_path.empty()) {
     return LoadGraph(opt.graph_path);
   }
-  for (const auto& model : models::MlperfTinySuite()) {
-    std::string lower = model.name;
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    if (lower == opt.model ||
-        (opt.model == "mobilenet" && lower == "mobilenet")) {
-      return model.build(policy);
-    }
-  }
-  if (opt.model == "dscnn") return models::BuildDsCnn(policy);
-  return Status::NotFound("unknown model '" + opt.model +
-                          "' (and no --graph given)");
+  return models::BuildByName(opt.model, policy);
 }
 
 }  // namespace
@@ -221,6 +216,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const CliOptions opt = *parsed;
+  if (opt.list_models) {
+    std::printf("registered models:\n%s", models::DescribeRegistry().c_str());
+    return 0;
+  }
   if (opt.help || (opt.model.empty() && opt.graph_path.empty())) {
     PrintUsage();
     return opt.help ? 0 : 2;
