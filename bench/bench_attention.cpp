@@ -2,21 +2,25 @@
 // tiny transformer across a sweep of attention geometries.
 //
 // For each (depth, heads, d_model, seq_len) point the model is compiled
-// twice on the default DIANA SoC — the mixed config (diana.mhsa whole-block
-// offload + diana.matmul chains on the digital array) and the plain-TVM
-// CPU baseline — and the simulated end-to-end latencies
-// (Artifact::TotalFullCycles) are compared.
+// three ways on the default DIANA SoC — the mixed config (diana.mhsa
+// whole-block offload + diana.matmul chains on the digital array), the same
+// config under the graph-beam plan search, and the plain-TVM CPU baseline —
+// and the simulated end-to-end latencies (Artifact::TotalFullCycles) are
+// compared. Each row also shows the searched-vs-heuristic plan delta (fused
+// pairs "f", dispatch flips "c").
 //
 // `--check` is the CI contract: the accelerated deployment must beat the
-// CPU baseline on every geometry, and every accelerated run must actually
+// CPU baseline on every geometry, every accelerated run must actually
 // contain a diana.mhsa kernel (otherwise the comparison silently degrades
-// to CPU-vs-CPU).
+// to CPU-vs-CPU), and the graph-beam plan must match or beat the heuristic
+// partitioning on every row.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench_common.hpp"
 #include "compiler/pipeline.hpp"
+#include "dory/schedule_search.hpp"
 #include "models/transformer.hpp"
 
 namespace htvm {
@@ -43,35 +47,58 @@ int Run(bool check) {
   };
 
   bench::PrintHeader("attention offload — digital array vs CPU baseline");
-  std::printf("%-22s %14s %14s %9s  %s\n", "geometry", "accel_cyc",
-              "cpu_cyc", "speedup", "mhsa");
-  bench::PrintRule(70);
+  std::printf("%-22s %14s %14s %14s %9s %8s  %s\n", "geometry", "accel_cyc",
+              "searched_cyc", "cpu_cyc", "speedup", "plan", "mhsa");
+  bench::PrintRule(94);
 
   bool all_win = true, all_offload = true;
+  int plan_regressions = 0;
   for (const Geometry& g : kSweep) {
     const Graph net =
         models::TinyTransformer(g.depth, g.heads, g.d_model, g.seq_len);
     const auto accel = bench::Compile(net, compiler::CompileOptions{});
+    compiler::CompileOptions searched_opt;
+    searched_opt.schedule_search.kind = dory::ScheduleSearchKind::kGraphBeam;
+    const auto searched = bench::Compile(net, searched_opt);
     const auto cpu =
         bench::Compile(net, compiler::CompileOptions::PlainTvm());
     const i64 accel_cyc = accel.TotalFullCycles();
+    const i64 searched_cyc = searched.TotalFullCycles();
     const i64 cpu_cyc = cpu.TotalFullCycles();
     const bool offloaded = HasMhsaKernel(accel);
     all_win &= accel_cyc < cpu_cyc;
     all_offload &= offloaded;
-    std::printf("d%lld h%lld dm%-3lld s%-4lld      %14lld %14lld %8.2fx  %s\n",
-                (long long)g.depth, (long long)g.heads, (long long)g.d_model,
-                (long long)g.seq_len, (long long)accel_cyc,
-                (long long)cpu_cyc,
-                static_cast<double>(cpu_cyc) / static_cast<double>(accel_cyc),
-                offloaded ? "yes" : "NO");
+    if (searched_cyc > accel_cyc) {
+      ++plan_regressions;
+      std::printf("REGRESSION: d%lld h%lld dm%lld s%lld: graph-beam %lld > "
+                  "heuristic %lld\n",
+                  (long long)g.depth, (long long)g.heads, (long long)g.d_model,
+                  (long long)g.seq_len, (long long)searched_cyc,
+                  (long long)accel_cyc);
+    }
+    const std::string plan_delta =
+        searched.plan.empty()
+            ? "-"
+            : StrFormat("f%lldc%lld",
+                        static_cast<long long>(searched.plan.FusedPairs()),
+                        static_cast<long long>(searched.plan.CpuDecisions()));
+    std::printf(
+        "d%lld h%lld dm%-3lld s%-4lld      %14lld %14lld %14lld %8.2fx %8s  "
+        "%s\n",
+        (long long)g.depth, (long long)g.heads, (long long)g.d_model,
+        (long long)g.seq_len, (long long)accel_cyc, (long long)searched_cyc,
+        (long long)cpu_cyc,
+        static_cast<double>(cpu_cyc) / static_cast<double>(accel_cyc),
+        plan_delta.c_str(), offloaded ? "yes" : "NO");
   }
-  bench::PrintRule(70);
-  std::printf("accel beats CPU on %s geometries; MHSA offload on %s rows\n",
-              all_win ? "all" : "NOT all", all_offload ? "all" : "NOT all");
-  if (check && (!all_win || !all_offload)) {
+  bench::PrintRule(94);
+  std::printf("accel beats CPU on %s geometries; MHSA offload on %s rows; "
+              "graph-beam plan regressions: %d\n",
+              all_win ? "all" : "NOT all", all_offload ? "all" : "NOT all",
+              plan_regressions);
+  if (check && (!all_win || !all_offload || plan_regressions > 0)) {
     std::printf("CHECK FAILED: attention offload did not beat the CPU "
-                "baseline everywhere\n");
+                "baseline everywhere or the graph-beam plan regressed\n");
     return 1;
   }
   if (check) std::printf("CHECK PASSED\n");

@@ -1,86 +1,127 @@
-// Schedule-search autotuner evaluation: MLPerf Tiny suite x every
-// registered SoC family x {heuristic, beam, evolutionary}.
+// Schedule-search autotuner evaluation: MLPerf Tiny suite + TinyTransformer
+// x every registered SoC family x {heuristic, beam, evolutionary,
+// graph-beam, graph-evolutionary}.
 //
 // For each (model, SoC) cell the network is compiled once per strategy and
 // the simulated end-to-end latency (Artifact::TotalFullCycles, the same
 // number Table I reports) is compared against the DORY Eq. 1-5 heuristic
 // baseline. The table reports per-cell deltas plus each strategy's geomean
-// ratio and search cost (cost-model + simulator evaluations).
+// ratio and search cost (cost-model + simulator evaluations). For the
+// graph-level strategies each row also shows the searched-vs-heuristic
+// plan delta: how many adjacent digital pairs the winning GraphPlan fused
+// ("f") and how many dispatch decisions it flipped away from the
+// heuristic partitioning ("c").
 //
-// `--check` is the CI contract: both cost-guided strategies must match or
+// `--check` is the CI contract: every cost-guided strategy must match or
 // beat the heuristic on EVERY cell (they always include the heuristic pick
 // as a finalist, so a regression means the argmin tie-breaking broke).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "compiler/pipeline.hpp"
+#include "compiler/plan_search.hpp"
 #include "dory/schedule_search.hpp"
 #include "hw/soc.hpp"
 #include "models/mlperf_tiny.hpp"
+#include "models/transformer.hpp"
 
 namespace htvm {
 namespace {
+
+constexpr dory::ScheduleSearchKind kSearched[] = {
+    dory::ScheduleSearchKind::kBeam,
+    dory::ScheduleSearchKind::kEvolutionary,
+    dory::ScheduleSearchKind::kGraphBeam,
+    dory::ScheduleSearchKind::kGraphEvolutionary,
+};
+constexpr int kNumSearched = 4;
 
 struct StrategyRun {
   i64 full_cycles = 0;
   i64 cost_model_evals = 0;
   i64 simulator_evals = 0;
+  // Graph-level strategies only: the winning plan's delta against the
+  // heuristic plan for the same cell.
+  bool has_plan = false;
+  i64 plan_fused = 0;      // fused pairs (heuristic never fuses)
+  i64 plan_cpu_flips = 0;  // dispatch decisions changed vs heuristic
 };
 
 StrategyRun CompileWith(const Graph& net, const hw::SocDescription& soc,
-                        dory::ScheduleSearchKind kind) {
+                        dory::ScheduleSearchKind kind,
+                        const dory::GraphPlan& heuristic_plan) {
   compiler::CompileOptions options;  // mixed: dispatch picks per layer
   options.soc = soc;
   options.schedule_search.kind = kind;
   dory::ScheduleSearchStats::Global().Reset();
   StrategyRun run;
-  run.full_cycles = bench::Compile(net, options).TotalFullCycles();
+  const compiler::Artifact art = bench::Compile(net, options);
+  run.full_cycles = art.TotalFullCycles();
   run.cost_model_evals = dory::ScheduleSearchStats::Global().cost_model_evals();
   run.simulator_evals = dory::ScheduleSearchStats::Global().simulator_evals();
+  if (!art.plan.empty() &&
+      art.plan.decisions.size() == heuristic_plan.decisions.size()) {
+    run.has_plan = true;
+    run.plan_fused = art.plan.FusedPairs();
+    for (size_t i = 0; i < art.plan.decisions.size(); ++i) {
+      if (art.plan.decisions[i].target != heuristic_plan.decisions[i].target) {
+        ++run.plan_cpu_flips;
+      }
+    }
+  }
   return run;
 }
 
 int Run(bool check) {
   const std::vector<std::string> socs = hw::SocRegistry::Global().Names();
-  const auto suite = models::MlperfTinySuite();
-  constexpr dory::ScheduleSearchKind kSearched[] = {
-      dory::ScheduleSearchKind::kBeam,
-      dory::ScheduleSearchKind::kEvolutionary,
-  };
+  std::vector<std::pair<std::string, Graph>> nets;
+  for (const auto& model : models::MlperfTinySuite()) {
+    nets.emplace_back(model.name,
+                      model.build(models::PrecisionPolicy::kMixed));
+  }
+  nets.emplace_back("tinyxfmr",
+                    models::TinyTransformer(/*depth=*/1, /*heads=*/2,
+                                            /*d_model=*/32, /*seq_len=*/16));
 
   bench::PrintHeader("schedule-search autotuner vs DORY heuristic");
-  std::printf("%-10s %-14s %14s %14s %8s %14s %8s\n", "model", "soc",
-              "heuristic", "beam", "delta", "evolutionary", "delta");
-  bench::PrintRule(88);
+  std::printf("%-10s %-14s %14s %12s %12s %16s %16s\n", "model", "soc",
+              "heuristic", "beam", "evolution", "graph-beam", "graph-evo");
+  bench::PrintRule(100);
 
   // Per-strategy accumulators across all cells.
-  double log_ratio_sum[2] = {0.0, 0.0};
-  i64 evals[2] = {0, 0};
-  i64 sim_evals[2] = {0, 0};
+  double log_ratio_sum[kNumSearched] = {};
+  i64 evals[kNumSearched] = {};
+  i64 sim_evals[kNumSearched] = {};
   int cells = 0;
   int regressions = 0;
 
-  for (const auto& model : suite) {
-    const Graph net = model.build(models::PrecisionPolicy::kMixed);
+  for (const auto& [name, net] : nets) {
     for (const std::string& soc_name : socs) {
       const hw::SocDescription soc = *hw::FindSoc(soc_name);
-      const StrategyRun base =
-          CompileWith(net, soc, dory::ScheduleSearchKind::kHeuristic);
-      StrategyRun searched[2];
-      for (int s = 0; s < 2; ++s) {
-        searched[s] = CompileWith(net, soc, kSearched[s]);
-        log_ratio_sum[s] += std::log(static_cast<double>(searched[s].full_cycles) /
-                                     static_cast<double>(base.full_cycles));
+      compiler::CompileOptions plan_options;
+      plan_options.soc = soc;
+      const auto heuristic_plan =
+          compiler::HeuristicGraphPlan(net, plan_options);
+      HTVM_CHECK_MSG(heuristic_plan.ok(), "heuristic plan extraction failed");
+      const StrategyRun base = CompileWith(
+          net, soc, dory::ScheduleSearchKind::kHeuristic, *heuristic_plan);
+      StrategyRun searched[kNumSearched];
+      for (int s = 0; s < kNumSearched; ++s) {
+        searched[s] = CompileWith(net, soc, kSearched[s], *heuristic_plan);
+        log_ratio_sum[s] +=
+            std::log(static_cast<double>(searched[s].full_cycles) /
+                     static_cast<double>(base.full_cycles));
         evals[s] += searched[s].cost_model_evals;
         sim_evals[s] += searched[s].simulator_evals;
         if (searched[s].full_cycles > base.full_cycles) {
           ++regressions;
           std::printf("REGRESSION: %s on %s: %s %lld > heuristic %lld\n",
-                      model.name, soc_name.c_str(),
+                      name.c_str(), soc_name.c_str(),
                       dory::ScheduleSearchKindName(kSearched[s]),
                       static_cast<long long>(searched[s].full_cycles),
                       static_cast<long long>(base.full_cycles));
@@ -92,21 +133,26 @@ int Run(bool check) {
                             static_cast<double>(base.full_cycles) -
                         1.0);
       };
-      std::printf("%-10s %-14s %14lld %14lld %+7.2f%% %14lld %+7.2f%%\n",
-                  model.name, soc_name.c_str(),
-                  static_cast<long long>(base.full_cycles),
-                  static_cast<long long>(searched[0].full_cycles),
-                  delta_pct(searched[0]),
-                  static_cast<long long>(searched[1].full_cycles),
-                  delta_pct(searched[1]));
+      const auto plan_delta = [](const StrategyRun& r) -> std::string {
+        if (!r.has_plan) return "-";
+        return StrFormat("f%lldc%lld", static_cast<long long>(r.plan_fused),
+                         static_cast<long long>(r.plan_cpu_flips));
+      };
+      std::printf(
+          "%-10s %-14s %14lld %+7.2f%% %+7.2f%% %+7.2f%% %-7s %+7.2f%% %-7s\n",
+          name.c_str(), soc_name.c_str(),
+          static_cast<long long>(base.full_cycles), delta_pct(searched[0]),
+          delta_pct(searched[1]), delta_pct(searched[2]),
+          plan_delta(searched[2]).c_str(), delta_pct(searched[3]),
+          plan_delta(searched[3]).c_str());
     }
   }
 
-  bench::PrintRule(88);
-  for (int s = 0; s < 2; ++s) {
+  bench::PrintRule(100);
+  for (int s = 0; s < kNumSearched; ++s) {
     const double geomean = std::exp(log_ratio_sum[s] / cells);
     std::printf(
-        "%-14s geomean latency ratio %.4f (%+.2f%%) over %d cells | "
+        "%-18s geomean latency ratio %.4f (%+.2f%%) over %d cells | "
         "%lld cost-model + %lld simulator evals\n",
         dory::ScheduleSearchKindName(kSearched[s]), geomean,
         100.0 * (geomean - 1.0), cells, static_cast<long long>(evals[s]),

@@ -156,6 +156,25 @@ void ArtifactCache::StoreSchedule(const std::string& key,
   stats_.schedule_entries = static_cast<i64>(schedules_.size());
 }
 
+std::optional<dory::GraphPlan> ArtifactCache::LookupPlan(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    stats_.plan_misses += 1;
+    return std::nullopt;
+  }
+  stats_.plan_hits += 1;
+  return it->second;
+}
+
+void ArtifactCache::StorePlan(const std::string& key,
+                              const dory::GraphPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[key] = plan;
+  stats_.plan_entries = static_cast<i64>(plans_.size());
+}
+
 CacheStats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -171,6 +190,7 @@ void ArtifactCache::Reset() {
   lru_.clear();
   index_.clear();
   schedules_.clear();
+  plans_.clear();
   stats_ = CacheStats{};
 }
 
@@ -179,6 +199,7 @@ void ArtifactCache::Reset(const ArtifactCacheOptions& new_options) {
   lru_.clear();
   index_.clear();
   schedules_.clear();
+  plans_.clear();
   stats_ = CacheStats{};
   options_ = new_options;
   if (!options_.dir.empty()) {

@@ -59,6 +59,12 @@ struct CacheStats {
   i64 schedule_hits = 0;
   i64 schedule_misses = 0;
   i64 schedule_entries = 0;
+  // Graph-plan memo counters (the same idea one level up): searched
+  // fusion/dispatch GraphPlans remembered by LookupPlan / StorePlan. A
+  // plan hit skips the whole graph-level search.
+  i64 plan_hits = 0;
+  i64 plan_misses = 0;
+  i64 plan_entries = 0;
 };
 
 class ArtifactCache final : public compiler::ArtifactCacheHook {
@@ -79,6 +85,11 @@ class ArtifactCache final : public compiler::ArtifactCacheHook {
       const std::string& key) override;
   void StoreSchedule(const std::string& key,
                      const dory::TileSolution& solution) override;
+  // Graph-plan memo (one GraphPlan per partitioned graph x SoC x search
+  // problem); same lifecycle as the schedule memo.
+  std::optional<dory::GraphPlan> LookupPlan(const std::string& key) override;
+  void StorePlan(const std::string& key,
+                 const dory::GraphPlan& plan) override;
 
   CacheStats stats() const;
   ArtifactCacheOptions options() const;
@@ -107,6 +118,7 @@ class ArtifactCache final : public compiler::ArtifactCacheHook {
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::unordered_map<std::string, dory::TileSolution> schedules_;
+  std::unordered_map<std::string, dory::GraphPlan> plans_;
   CacheStats stats_;
 };
 

@@ -388,6 +388,14 @@ std::string SerializeArtifact(const compiler::Artifact& a) {
     out += StrFormat("soc %s\n", Esc(a.soc_name).c_str());
   }
 
+  // The graph-plan record follows the same optionality rule: heuristic
+  // compiles carry an empty plan and emit nothing, so their serialization
+  // is byte-identical to pre-graph-search files. The plan's own multi-line
+  // text form is escaped into a single token.
+  if (!a.plan.empty()) {
+    out += StrFormat("plan %s\n", Esc(a.plan.Serialize()).c_str());
+  }
+
   const hw::DianaConfig& hw = a.hw_config;
   out += StrFormat("hw %lld %lld %s %lld\n",
                    static_cast<long long>(hw.l1_bytes),
@@ -545,6 +553,28 @@ Result<compiler::Artifact> DeserializeArtifactImpl(const std::string& text) {
               "soc record must name a non-default SoC");
         }
         a.soc_name = name;
+      } else {
+        stream.clear();
+        stream.seekg(before);
+      }
+    } else {
+      stream.clear();
+      stream.seekg(before);
+    }
+  }
+
+  // Optional graph-plan record (absent on the heuristic path and in every
+  // pre-graph-search file). Same peek/push-back protocol as "soc".
+  {
+    const std::streampos before = stream.tellg();
+    if (std::getline(stream, line)) {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "plan") {
+        HTVM_ASSIGN_OR_RETURN(text_plan, ReadEsc(ls));
+        HTVM_ASSIGN_OR_RETURN(plan, dory::GraphPlan::Deserialize(text_plan));
+        a.plan = std::move(plan);
       } else {
         stream.clear();
         stream.seekg(before);

@@ -10,7 +10,11 @@ namespace {
 // v3: schedule-search options joined (kind + beam/evolutionary knobs) — a
 // cost-guided-search artifact carries different tile schedules than the
 // heuristic one, so the two must never cross-hit.
-constexpr u64 kOptionsFingerprintVersion = 3;
+// v4: graph-level search joined (plan_finalists knob; the kind enum grew
+// graph-beam/graph-evolutionary) — a graph-planned artifact carries a
+// different partitioning (fusions, dispatch flips) than a tile-only-tuned
+// one, and the searched GraphPlan is memoized next to the TileSolutions.
+constexpr u64 kOptionsFingerprintVersion = 4;
 
 void HashDmaConfig(ir::Hasher& h, const hw::DmaConfig& c) {
   h.Add(c.setup_cycles).Add(c.bytes_per_cycle).Add(c.row_setup_cycles);
@@ -77,7 +81,8 @@ void HashScheduleSearch(ir::Hasher& h, const dory::ScheduleSearchOptions& s) {
       .Add(s.population)
       .Add(s.generations)
       .Add(s.elites)
-      .Add(s.seed);
+      .Add(s.seed)
+      .Add(s.plan_finalists);
   // eval_lanes is absent for the same reason compile_threads is: the
   // evaluation fan-out never changes which schedule wins (deterministic
   // argmin over a fixed finalist list).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "compiler/dispatch.hpp"
+#include "dory/graph_plan.hpp"
 #include "dory/schedule.hpp"
 #include "hw/perf.hpp"
 #include "ir/graph.hpp"
@@ -73,6 +74,12 @@ struct Artifact {
   // serialized artifacts (v1 text / HAB without a kSoc section, i.e.
   // everything pre-dating SoC families) load as "diana".
   std::string soc_name = "diana";
+  // The graph-level fusion/dispatch plan the compile deployed
+  // (dory/graph_plan.hpp). Empty on the default heuristic path — and an
+  // empty plan serializes to nothing, keeping heuristic artifacts
+  // byte-identical to the pre-plan goldens. A non-empty plan is only valid
+  // on its soc_name (enforced when loading a HAB).
+  dory::GraphPlan plan;
 
   hw::RunProfile Profile() const;
   // End-to-end latency: every kernel at its full (call-to-return) cost.

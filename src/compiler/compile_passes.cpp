@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "compiler/memory_planner.hpp"
+#include "compiler/plan_search.hpp"
+#include "dory/depth_first.hpp"
 #include "dory/schedule.hpp"
 #include "dory/schedule_search.hpp"
 #include "hw/cost_model.hpp"
@@ -52,6 +54,13 @@ class ConstantFoldPass final : public Pass {
 
 // Accelerator-aware dispatch (Sec. III-A): matched chains become composite
 // nodes annotated with their target; decisions land in the dispatch log.
+// With a graph-level search kind the fixed-priority partitioning becomes
+// the *heuristic plan* of a fusion/dispatch search (plan_search.hpp): the
+// searched GraphPlan retargets composites and merges depth-first pairs,
+// and is recorded in the artifact so the cache, the serializers, and
+// htvm-run replay the same mapping. The default heuristic path does not
+// enter the branch at all — its output is byte-identical to the pinned
+// goldens.
 class PartitionGraphPass final : public Pass {
  public:
   std::string_view name() const override { return "PartitionGraph"; }
@@ -64,6 +73,41 @@ class PartitionGraphPass final : public Pass {
         state.options.dispatch, state.options.soc, state.options.tiler,
         &state.artifact.dispatch_log);
     state.graph = PartitionGraph(state.graph, rules);
+    if (!dory::IsGraphSearchKind(state.options.schedule_search.kind)) {
+      return Status::Ok();
+    }
+
+    HTVM_ASSIGN_OR_RETURN(units,
+                          ExtractPlanUnits(state.graph, state.options));
+    // Plan memo: a previously searched plan for the same (partitioned
+    // graph x SoC x problem) replays with zero evaluations; a remembered
+    // plan that no longer fits the units (stale entry) falls through to a
+    // fresh search.
+    std::string memo_key;
+    std::optional<dory::GraphPlan> remembered;
+    if (state.options.cache != nullptr) {
+      memo_key = PlanMemoKey(state.graph, state.options);
+      remembered = state.options.cache->LookupPlan(memo_key);
+      if (remembered && (remembered->soc_name != state.options.soc.name ||
+                         !PlanMatchesUnits(*remembered, units))) {
+        remembered.reset();
+      }
+    }
+    dory::GraphPlan plan;
+    if (remembered) {
+      dory::ScheduleSearchStats::Global().RecordMemoHit();
+      plan = std::move(*remembered);
+    } else {
+      HTVM_ASSIGN_OR_RETURN(searched, SearchGraphPlan(units, state.options));
+      plan = std::move(searched);
+      if (!memo_key.empty()) {
+        state.options.cache->StorePlan(memo_key, plan);
+      }
+    }
+    HTVM_ASSIGN_OR_RETURN(planned,
+                          ApplyGraphPlan(state.graph, units, plan));
+    state.graph = std::move(planned);
+    state.artifact.plan = std::move(plan);
     return Status::Ok();
   }
 };
@@ -190,6 +234,40 @@ Status CompileMhsaKernel(const Node& n, const CompileOptions& options,
   return Status::Ok();
 }
 
+// Depth-first fused pair (diana.fused2, produced by ApplyGraphPlan): the
+// two conv layers execute tile-by-tile with the intermediate map resident
+// in L1 (dory/depth_first.hpp). Like diana.mhsa this kernel is
+// schedule-free — execution replays the chained body on the reference
+// interpreter, which keeps the fusion bit-exact with the sequential pair —
+// and only the performance/size accounting is accelerator-aware. The
+// depth-first solver is deterministic and records no search statistics.
+Status CompileFusedKernel(const Node& n, const CompileOptions& options,
+                          CompiledKernel* kernel) {
+  const hw::DianaConfig& cfg = options.soc.config;
+  HTVM_ASSIGN_OR_RETURN(pair, dory::AnalyzeFusedPairBody(*n.body));
+  HTVM_ASSIGN_OR_RETURN(sched,
+                        dory::BuildDepthFirstSchedule(pair, cfg,
+                                                      options.tiler));
+  hw::KernelPerf& perf = kernel->perf;
+  perf.name = kernel->name;
+  perf.target = kernel->target;
+  perf.macs = sched.macs;
+  perf.compute_cycles = sched.compute_cycles;
+  perf.weight_dma_cycles = sched.weight_dma_cycles;
+  perf.act_dma_cycles = sched.act_dma_cycles;
+  perf.overhead_cycles = sched.overhead_cycles;
+  perf.full_cycles = sched.full_cycles;
+  perf.peak_cycles = sched.full_cycles;
+  perf.tiles = sched.solution.n_y * sched.solution.n_x;
+  kernel->code_bytes = tvmgen::AccelKernelCodeBytes(
+      options.size_model, sched.solution.needs_tiling);
+  kernel->weight_bytes =
+      dory::DeployedWeightBytes(pair.first, cfg, dory::AccelTarget::kDigital) +
+      dory::DeployedWeightBytes(pair.second, cfg,
+                                dory::AccelTarget::kDigital);
+  return Status::Ok();
+}
+
 // Each composite's schedule is independent, so the per-kernel loop is
 // sharded over the shared thread pool (options.compile_threads lanes).
 // Determinism contract (locked down by tests/parallel_compile_test.cpp):
@@ -230,6 +308,8 @@ class CompileKernelsPass final : public Pass {
         kernel.weight_bytes = tvmgen::CpuKernelWeightBytes(n);
       } else if (n.op == "diana.mhsa") {
         HTVM_RETURN_IF_ERROR(CompileMhsaKernel(n, options, &kernel));
+      } else if (n.op == "diana.fused2") {
+        HTVM_RETURN_IF_ERROR(CompileFusedKernel(n, options, &kernel));
       } else {
         const dory::AccelTarget accel_target =
             kernel.target == "analog" ? dory::AccelTarget::kAnalog

@@ -83,6 +83,21 @@ class ArtifactCacheHook {
     (void)key;
     (void)solution;
   }
+
+  // Graph-plan memo (docs/schedule_search.md "Graph-level search"): the
+  // same idea one level up — PartitionGraph asks for a previously searched
+  // fusion/dispatch GraphPlan before running a graph-level search, keyed
+  // on the partitioned graph's StructuralHash x SoC fingerprint x problem
+  // fingerprint. Default: no memo (non-graph kinds never call these).
+  virtual std::optional<dory::GraphPlan> LookupPlan(const std::string& key) {
+    (void)key;
+    return std::nullopt;
+  }
+  virtual void StorePlan(const std::string& key,
+                         const dory::GraphPlan& plan) {
+    (void)key;
+    (void)plan;
+  }
 };
 
 // One pipeline stage. Passes must be deterministic functions of the state:

@@ -1,0 +1,487 @@
+#include "compiler/plan_search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "compiler/dispatch.hpp"
+#include "dory/schedule_search.hpp"
+#include "hw/cost_model.hpp"
+#include "ir/map_graph.hpp"
+#include "ir/passes.hpp"
+#include "ir/structural_hash.hpp"
+#include "nn/interpreter.hpp"
+#include "support/rng.hpp"
+#include "tvmgen/cost_model.hpp"
+
+namespace htvm::compiler {
+namespace {
+
+constexpr const char* kFusedCompositeName = "diana.fused2";
+
+// A candidate decision vector, one entry per unit.
+enum class Choice : u8 {
+  kKeep = 0,       // heuristic dispatch
+  kCpu = 1,        // flip a digital unit to the CPU
+  kFuseLead = 2,   // depth-first fuse with the next unit
+  kFuseFollow = 3  // absorbed into the previous unit's fused kernel
+};
+using ChoiceVec = std::vector<Choice>;
+
+// Screening cost (the hw::CostModel composite-chain view): exact per-unit
+// cycles for the chosen decision, plus the L2 transfer of every fusable
+// boundary the candidate left unfused. Graduation (PlanChainCycles) drops
+// the boundary terms — per-unit full cycles already internalize their own
+// DMA — so the winner is argmin of the metric the artifact reports.
+i64 ScreeningCost(const std::vector<PlanUnit>& units, const ChoiceVec& c,
+                  const hw::CostModel& cost) {
+  i64 total = 0;
+  for (size_t i = 0; i < units.size(); ++i) {
+    switch (c[i]) {
+      case Choice::kKeep:
+        total += units[i].keep_cycles;
+        break;
+      case Choice::kCpu:
+        total += units[i].cpu_cycles;
+        break;
+      case Choice::kFuseLead:
+        total += units[i].fused_cycles;
+        break;
+      case Choice::kFuseFollow:
+        break;  // charged on the leader
+    }
+    if (units[i].fusable_with_next && c[i] != Choice::kFuseLead) {
+      total += cost.L2TransferCycles(units[i].boundary_bytes);
+    }
+  }
+  return total;
+}
+
+dory::GraphPlan PlanFromChoices(const std::vector<PlanUnit>& units,
+                                const ChoiceVec& c,
+                                const std::string& soc_name) {
+  dory::GraphPlan plan;
+  plan.soc_name = soc_name;
+  plan.decisions.reserve(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    dory::PlanDecision d;
+    d.pattern = units[i].pattern;
+    d.target = c[i] == Choice::kCpu ? "cpu" : units[i].target;
+    d.fuse_with_next = c[i] == Choice::kFuseLead;
+    plan.decisions.push_back(std::move(d));
+  }
+  return plan;
+}
+
+// Deterministic beam over the unit sequence: at unit i every surviving
+// partial vector branches into keep / cpu-flip / fuse-with-next (where
+// legal), scored incrementally by the screening cost; ties break on the
+// lexicographically smallest decision vector, so the result is independent
+// of container iteration order and thread count.
+std::vector<ChoiceVec> BeamPlanCandidates(const std::vector<PlanUnit>& units,
+                                          const hw::CostModel& cost,
+                                          int beam_width, i64* scored) {
+  struct State {
+    i64 cost = 0;
+    ChoiceVec choices;
+  };
+  const size_t width = static_cast<size_t>(std::max(1, beam_width));
+  std::vector<State> beam{State{}};
+  for (size_t i = 0; i < units.size(); ++i) {
+    std::vector<State> next;
+    for (const State& s : beam) {
+      if (!s.choices.empty() && s.choices.back() == Choice::kFuseLead) {
+        State f = s;
+        f.choices.push_back(Choice::kFuseFollow);
+        next.push_back(std::move(f));
+        continue;
+      }
+      const i64 boundary = units[i].fusable_with_next
+                               ? cost.L2TransferCycles(units[i].boundary_bytes)
+                               : 0;
+      State keep = s;
+      keep.cost += units[i].keep_cycles + boundary;
+      keep.choices.push_back(Choice::kKeep);
+      next.push_back(std::move(keep));
+      if (units[i].searchable_cpu) {
+        State cpu = s;
+        cpu.cost += units[i].cpu_cycles + boundary;
+        cpu.choices.push_back(Choice::kCpu);
+        next.push_back(std::move(cpu));
+      }
+      if (units[i].fusable_with_next) {
+        State fuse = s;
+        fuse.cost += units[i].fused_cycles;
+        fuse.choices.push_back(Choice::kFuseLead);
+        next.push_back(std::move(fuse));
+      }
+    }
+    std::sort(next.begin(), next.end(), [](const State& a, const State& b) {
+      return a.cost != b.cost ? a.cost < b.cost : a.choices < b.choices;
+    });
+    if (next.size() > width) next.resize(width);
+    beam = std::move(next);
+  }
+  *scored += static_cast<i64>(beam.size() * units.size());
+  std::vector<ChoiceVec> out;
+  out.reserve(beam.size());
+  for (State& s : beam) out.push_back(std::move(s.choices));
+  return out;
+}
+
+// Repairs an arbitrary (flip, fuse) bit pair into a legal decision vector:
+// flips only on searchable units, fuse bits only on fusable boundaries
+// whose two sides stayed digital, no overlapping pairs (first-wins, in
+// unit order — deterministic).
+ChoiceVec RepairedChoices(const std::vector<PlanUnit>& units,
+                          const std::vector<bool>& flip,
+                          const std::vector<bool>& fuse) {
+  const size_t n = units.size();
+  ChoiceVec c(n, Choice::kKeep);
+  for (size_t i = 0; i < n; ++i) {
+    if (flip[i] && units[i].searchable_cpu) c[i] = Choice::kCpu;
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!fuse[i] || !units[i].fusable_with_next) continue;
+    if (c[i] != Choice::kKeep || c[i + 1] != Choice::kKeep) continue;
+    c[i] = Choice::kFuseLead;
+    c[i + 1] = Choice::kFuseFollow;
+    ++i;  // pairs cannot overlap
+  }
+  return c;
+}
+
+// Seeded genetic search over the flip/fuse bitvectors. The population is
+// screened with the chain cost; elites graduate. Seeded per problem (plan
+// fingerprint of the heuristic plan x search seed), so the result is
+// deterministic and independent of where the compile runs.
+std::vector<ChoiceVec> EvolutionaryPlanCandidates(
+    const std::vector<PlanUnit>& units, const hw::CostModel& cost,
+    const dory::ScheduleSearchOptions& search, u64 problem_seed, i64* scored) {
+  const size_t n = units.size();
+  struct Genome {
+    std::vector<bool> flip, fuse;
+    ChoiceVec choices;
+    i64 cost = 0;
+  };
+  Rng rng(search.seed ^ problem_seed);
+  const auto materialize = [&](Genome& g) {
+    g.choices = RepairedChoices(units, g.flip, g.fuse);
+    g.cost = ScreeningCost(units, g.choices, cost);
+    ++*scored;
+  };
+  const size_t pop_size = static_cast<size_t>(std::max(4, search.population));
+  std::vector<Genome> pop(pop_size);
+  for (size_t p = 0; p < pop_size; ++p) {
+    pop[p].flip.resize(n);
+    pop[p].fuse.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      // The first genome is the heuristic identity plan.
+      pop[p].flip[i] = p > 0 && (rng.NextU64() & 3) == 0;
+      pop[p].fuse[i] = p > 0 && (rng.NextU64() & 1) == 0;
+    }
+    materialize(pop[p]);
+  }
+  const auto by_fitness = [](const Genome& a, const Genome& b) {
+    return a.cost != b.cost ? a.cost < b.cost : a.choices < b.choices;
+  };
+  const int generations = std::max(1, search.generations);
+  const size_t elites =
+      std::min(pop_size, static_cast<size_t>(std::max(1, search.elites)));
+  for (int gen = 0; gen < generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), by_fitness);
+    std::vector<Genome> next(pop.begin(),
+                             pop.begin() + static_cast<std::ptrdiff_t>(elites));
+    while (next.size() < pop_size) {
+      const Genome& pa = pop[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<i64>(elites) - 1))];
+      const Genome& pb = pop[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<i64>(pop.size()) - 1))];
+      Genome child;
+      child.flip.resize(n);
+      child.fuse.resize(n);
+      for (size_t i = 0; i < n; ++i) {  // uniform crossover
+        child.flip[i] = (rng.NextU64() & 1) ? pa.flip[i] : pb.flip[i];
+        child.fuse[i] = (rng.NextU64() & 1) ? pa.fuse[i] : pb.fuse[i];
+      }
+      if (n > 0 && rng.UniformDouble() < 0.6) {  // point mutation
+        const size_t at =
+            static_cast<size_t>(rng.UniformInt(0, static_cast<i64>(n) - 1));
+        if (rng.NextU64() & 1) {
+          child.flip[at] = !child.flip[at];
+        } else {
+          child.fuse[at] = !child.fuse[at];
+        }
+      }
+      materialize(child);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+  std::sort(pop.begin(), pop.end(), by_fitness);
+  std::vector<ChoiceVec> out;
+  for (Genome& g : pop) out.push_back(std::move(g.choices));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<PlanUnit>> ExtractPlanUnits(const Graph& partitioned,
+                                               const CompileOptions& options) {
+  const hw::DianaConfig& cfg = options.soc.config;
+  std::vector<PlanUnit> units;
+  std::vector<std::optional<dory::AccelLayerSpec>> specs;
+  for (const Node& n : partitioned.nodes()) {
+    if (n.kind != NodeKind::kComposite) continue;
+    PlanUnit u;
+    u.node = n.id;
+    u.pattern = n.op;
+    u.target = n.attrs.GetString("target", "cpu");
+    u.boundary_bytes = n.type.shape.NumElements();  // int8 activations
+    std::optional<dory::AccelLayerSpec> spec;
+    if (u.target == "cpu") {
+      u.keep_cycles = tvmgen::CpuCompositePerf(cfg, n, u.pattern).full_cycles;
+    } else if (n.op == "diana.mhsa") {
+      // Pinned: the whole-block attention kernel's dispatch decision is a
+      // capability gate, not a latency trade-off; its (constant) cost
+      // cancels out of every candidate delta.
+      u.keep_cycles = 0;
+    } else {
+      auto spec_or = dory::AnalyzeCompositeBody(*n.body);
+      const dory::AccelTarget accel = u.target == "analog"
+                                          ? dory::AccelTarget::kAnalog
+                                          : dory::AccelTarget::kDigital;
+      if (spec_or.ok()) {
+        auto sched = dory::BuildSchedule(*spec_or, cfg, accel, options.tiler);
+        if (sched.ok()) {
+          spec = *spec_or;
+          u.keep_cycles = sched->full_cycles;
+          // Analog bodies get 7-bit input clamps inserted after
+          // partitioning — moving them breaks bit-exactness, so only
+          // digital units are dispatch-searchable.
+          u.searchable_cpu = u.target == "digital";
+          if (u.searchable_cpu) {
+            u.cpu_cycles =
+                tvmgen::CpuCompositePerf(cfg, n, u.pattern).full_cycles;
+          }
+        }
+      }
+    }
+    units.push_back(std::move(u));
+    specs.push_back(spec);
+  }
+
+  // Fusion candidates: consecutive digital conv units where the successor
+  // is the unit's only consumer and the depth-first tiler fits the pair.
+  const std::vector<i32> uses = partitioned.UseCounts();
+  for (size_t i = 0; i + 1 < units.size(); ++i) {
+    PlanUnit& a = units[i];
+    const PlanUnit& b = units[i + 1];
+    if (!specs[i] || !specs[i + 1]) continue;
+    if (a.target != "digital" || b.target != "digital") continue;
+    const Node& bn = partitioned.node(b.node);
+    if (bn.inputs.size() != 1 || bn.inputs[0] != a.node) continue;
+    if (uses[static_cast<size_t>(a.node)] != 1) continue;
+    dory::FusedPairSpec pair;
+    pair.first = *specs[i];
+    pair.second = *specs[i + 1];
+    if (!dory::ValidateFusedPair(pair).ok()) continue;
+    auto fused = dory::BuildDepthFirstSchedule(pair, cfg, options.tiler);
+    if (!fused.ok()) continue;
+    a.fusable_with_next = true;
+    a.fused_cycles = fused->full_cycles;
+  }
+  return units;
+}
+
+dory::GraphPlan HeuristicPlanForUnits(const std::vector<PlanUnit>& units,
+                                      const std::string& soc_name) {
+  return PlanFromChoices(units, ChoiceVec(units.size(), Choice::kKeep),
+                         soc_name);
+}
+
+i64 PlanChainCycles(const std::vector<PlanUnit>& units,
+                    const dory::GraphPlan& plan) {
+  i64 total = 0;
+  for (size_t i = 0; i < units.size(); ++i) {
+    const dory::PlanDecision& d = plan.decisions[i];
+    if (d.fuse_with_next) {
+      total += units[i].fused_cycles;
+      ++i;  // the follower is inside the fused kernel
+      continue;
+    }
+    total += d.target == units[i].target ? units[i].keep_cycles
+                                         : units[i].cpu_cycles;
+  }
+  return total;
+}
+
+bool PlanMatchesUnits(const dory::GraphPlan& plan,
+                      const std::vector<PlanUnit>& units) {
+  if (plan.decisions.size() != units.size()) return false;
+  for (size_t i = 0; i < units.size(); ++i) {
+    const dory::PlanDecision& d = plan.decisions[i];
+    if (d.pattern != units[i].pattern) return false;
+    const bool target_ok =
+        d.target == units[i].target ||
+        (d.target == "cpu" && units[i].searchable_cpu);
+    if (!target_ok) return false;
+    if (d.fuse_with_next) {
+      if (!units[i].fusable_with_next) return false;
+      if (i + 1 >= units.size()) return false;
+      if (d.target != "digital" ||
+          plan.decisions[i + 1].target != "digital" ||
+          plan.decisions[i + 1].fuse_with_next) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<dory::GraphPlan> SearchGraphPlan(const std::vector<PlanUnit>& units,
+                                        const CompileOptions& options) {
+  const dory::ScheduleSearchOptions& search = options.schedule_search;
+  const hw::CostModel cost(options.soc.config);
+  const std::string& soc_name = options.soc.name;
+  const dory::GraphPlan heuristic = HeuristicPlanForUnits(units, soc_name);
+
+  i64 scored = 0;
+  std::vector<ChoiceVec> candidates =
+      search.kind == dory::ScheduleSearchKind::kGraphEvolutionary
+          ? EvolutionaryPlanCandidates(units, cost, search,
+                                       heuristic.Fingerprint(), &scored)
+          : BeamPlanCandidates(units, cost, search.beam_width, &scored);
+  dory::ScheduleSearchStats::Global().RecordCostEvals(scored);
+
+  // Finalists: the heuristic plan always leads; then the screening-best
+  // distinct candidates, up to plan_finalists.
+  std::vector<dory::GraphPlan> finalists{heuristic};
+  const size_t cap =
+      1 + static_cast<size_t>(std::max(1, search.plan_finalists));
+  for (const ChoiceVec& c : candidates) {
+    if (finalists.size() >= cap) break;
+    dory::GraphPlan plan = PlanFromChoices(units, c, soc_name);
+    if (std::find(finalists.begin(), finalists.end(), plan) !=
+        finalists.end()) {
+      continue;
+    }
+    finalists.push_back(std::move(plan));
+  }
+
+  // Graduation: exact chain cycles, earliest-tie-wins — the heuristic plan
+  // is index 0, so the winner can never be slower than it.
+  size_t best = 0;
+  i64 best_cycles = 0;
+  for (size_t i = 0; i < finalists.size(); ++i) {
+    const i64 cycles = PlanChainCycles(units, finalists[i]);
+    if (i == 0 || cycles < best_cycles) {
+      best = i;
+      best_cycles = cycles;
+    }
+  }
+  dory::ScheduleSearchStats::Global().RecordSimEvals(
+      static_cast<i64>(finalists.size()));
+  return finalists[best];
+}
+
+namespace {
+
+// Appends `src`'s nodes (one graph input, ops, constants) into `dst`,
+// rerouting the input to `input_id`; returns the mapped output id.
+NodeId AppendBodyNodes(Graph& dst, const Graph& src, NodeId input_id) {
+  std::vector<NodeId> remap(static_cast<size_t>(src.NumNodes()),
+                            kInvalidNode);
+  for (const Node& n : src.nodes()) {
+    NodeId mapped = kInvalidNode;
+    switch (n.kind) {
+      case NodeKind::kInput:
+        mapped = input_id;
+        break;
+      case NodeKind::kConstant:
+        mapped = dst.AddConstant(n.value, n.name);
+        break;
+      default: {
+        std::vector<NodeId> ins;
+        ins.reserve(n.inputs.size());
+        for (NodeId in : n.inputs) {
+          ins.push_back(remap[static_cast<size_t>(in)]);
+        }
+        mapped = dst.AddOp(n.op, std::move(ins), n.attrs, n.name);
+        break;
+      }
+    }
+    remap[static_cast<size_t>(n.id)] = mapped;
+  }
+  return remap[static_cast<size_t>(src.outputs()[0])];
+}
+
+}  // namespace
+
+Result<Graph> ApplyGraphPlan(const Graph& partitioned,
+                             const std::vector<PlanUnit>& units,
+                             const dory::GraphPlan& plan) {
+  if (!PlanMatchesUnits(plan, units)) {
+    return Status::InvalidArgument(
+        "graph plan does not match the partitioned graph");
+  }
+  std::map<NodeId, size_t> unit_of;
+  for (size_t i = 0; i < units.size(); ++i) unit_of[units[i].node] = i;
+
+  Graph out = ir::MapGraph(partitioned, [&](ir::GraphMapper& m,
+                                            const Node& n) -> NodeId {
+    const auto it = unit_of.find(n.id);
+    if (it == unit_of.end()) return m.Clone(n);
+    const size_t i = it->second;
+    const dory::PlanDecision& d = plan.decisions[i];
+    // A fused pair's leader is dropped; the follower becomes the merged
+    // depth-first composite consuming the leader's input directly.
+    if (d.fuse_with_next) return kInvalidNode;
+    if (i > 0 && plan.decisions[i - 1].fuse_with_next) {
+      const Node& leader = partitioned.node(units[i - 1].node);
+      auto body = std::make_shared<Graph>();
+      const Node& leader_in = leader.body->node(leader.body->inputs()[0]);
+      const NodeId arg = body->AddInput(
+          leader_in.name.empty() ? "arg" : leader_in.name, leader_in.type);
+      const NodeId mid = AppendBodyNodes(*body, *leader.body, arg);
+      const NodeId end = AppendBodyNodes(*body, *n.body, mid);
+      body->SetOutputs({end});
+      AttrMap attrs;
+      attrs.Set("target", std::string("digital"));
+      return m.out().AddComposite(kFusedCompositeName,
+                                  {m.Mapped(leader.inputs[0])},
+                                  std::move(body), std::move(attrs));
+    }
+    const NodeId id = m.Clone(n);
+    if (d.target != units[i].target) {
+      m.out().mutable_node(id).attrs.Set("target", d.target);
+    }
+    return id;
+  });
+  return out;
+}
+
+Result<dory::GraphPlan> HeuristicGraphPlan(const Graph& network,
+                                           const CompileOptions& options) {
+  i64 rewrites = 0;
+  Graph g = AbsorbPadding(network, &rewrites);
+  g = ConstantFold(g, nn::StandardEvaluator(), &rewrites);
+  const auto rules = MakeDianaDispatchRules(options.dispatch, options.soc,
+                                            options.tiler, nullptr);
+  g = PartitionGraph(g, rules);
+  HTVM_ASSIGN_OR_RETURN(units, ExtractPlanUnits(g, options));
+  return HeuristicPlanForUnits(units, options.soc.name);
+}
+
+std::string PlanMemoKey(const Graph& partitioned,
+                        const CompileOptions& options) {
+  ir::Hasher h(/*seed=*/0x706c616eull);  // "plan"
+  h.AddHash(ir::StructuralHash(partitioned));
+  h.Add(options.soc.Fingerprint());
+  h.Add(dory::ScheduleSearchProblemFingerprint(
+      dory::AccelLayerSpec{}, dory::AccelTarget::kDigital, options.tiler,
+      options.schedule_search));
+  return "plan-" + h.Digest().ToHex();
+}
+
+}  // namespace htvm::compiler

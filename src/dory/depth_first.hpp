@@ -13,6 +13,7 @@
 #pragma once
 
 #include "dory/schedule.hpp"
+#include "ir/graph.hpp"
 #include "tensor/quantize.hpp"
 
 namespace htvm::dory {
@@ -21,6 +22,12 @@ struct FusedPairSpec {
   AccelLayerSpec first;
   AccelLayerSpec second;
 };
+
+// Two-anchor twin of AnalyzeCompositeBody: extracts the layer pair from a
+// depth-first fused composite body ("diana.fused2" — two conv-like
+// quantized chains back to back). Fails with Unsupported when the body is
+// not exactly two conv anchors in producer order.
+Result<FusedPairSpec> AnalyzeFusedPairBody(const Graph& body);
 
 // Checks the chain is fusable: geometry chains, kinds are conv/dwconv, and
 // the first layer's full output channels fit the story above.

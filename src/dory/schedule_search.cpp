@@ -345,6 +345,11 @@ class EvolutionarySearch final : public ScheduleSearch {
 
 }  // namespace
 
+bool IsGraphSearchKind(ScheduleSearchKind kind) {
+  return kind == ScheduleSearchKind::kGraphBeam ||
+         kind == ScheduleSearchKind::kGraphEvolutionary;
+}
+
 const char* ScheduleSearchKindName(ScheduleSearchKind kind) {
   switch (kind) {
     case ScheduleSearchKind::kHeuristic:
@@ -353,6 +358,10 @@ const char* ScheduleSearchKindName(ScheduleSearchKind kind) {
       return "beam";
     case ScheduleSearchKind::kEvolutionary:
       return "evolutionary";
+    case ScheduleSearchKind::kGraphBeam:
+      return "graph-beam";
+    case ScheduleSearchKind::kGraphEvolutionary:
+      return "graph-evolutionary";
   }
   return "heuristic";
 }
@@ -361,9 +370,13 @@ Result<ScheduleSearchKind> ParseScheduleSearchKind(std::string_view name) {
   if (name == "heuristic") return ScheduleSearchKind::kHeuristic;
   if (name == "beam") return ScheduleSearchKind::kBeam;
   if (name == "evolutionary") return ScheduleSearchKind::kEvolutionary;
+  if (name == "graph-beam") return ScheduleSearchKind::kGraphBeam;
+  if (name == "graph-evolutionary") {
+    return ScheduleSearchKind::kGraphEvolutionary;
+  }
   return Status::InvalidArgument(
-      StrFormat("unknown schedule-search kind '%s' "
-                "(expected heuristic|beam|evolutionary)",
+      StrFormat("unknown schedule-search kind '%s' (expected heuristic|beam|"
+                "evolutionary|graph-beam|graph-evolutionary)",
                 std::string(name).c_str()));
 }
 
@@ -383,9 +396,14 @@ std::unique_ptr<ScheduleSearch> MakeScheduleSearch(ScheduleSearchKind kind) {
   switch (kind) {
     case ScheduleSearchKind::kHeuristic:
       return std::make_unique<HeuristicSearch>();
+    // The graph-level kinds search fusion/dispatch plans one level up
+    // (compiler/plan_search.hpp); per-layer tile selection reuses the
+    // matching tile strategy, keeping its match-or-beat guarantee.
     case ScheduleSearchKind::kBeam:
+    case ScheduleSearchKind::kGraphBeam:
       return std::make_unique<BeamSearch>();
     case ScheduleSearchKind::kEvolutionary:
+    case ScheduleSearchKind::kGraphEvolutionary:
       return std::make_unique<EvolutionarySearch>();
   }
   return std::make_unique<HeuristicSearch>();
@@ -439,6 +457,7 @@ u64 ScheduleSearchProblemFingerprint(const AccelLayerSpec& spec,
   fold(static_cast<u64>(search.generations));
   fold(static_cast<u64>(search.elites));
   fold(search.seed);
+  fold(static_cast<u64>(search.plan_finalists));
   return h;
 }
 

@@ -38,11 +38,22 @@ enum class ScheduleSearchKind : u8 {
   kHeuristic = 0,
   kBeam = 1,
   kEvolutionary = 2,
+  // Graph-level search (docs/schedule_search.md "Graph-level search"): on
+  // top of per-layer tile tuning, search depth-first fusion pairings and
+  // per-composite dispatch (compiler/plan_search.hpp). graph-beam tunes
+  // tiles with the beam strategy, graph-evolutionary with the evolutionary
+  // one, so per-layer schedules keep the match-or-beat property.
+  kGraphBeam = 3,
+  kGraphEvolutionary = 4,
 };
 
+// True for the kinds that additionally search fusion/dispatch plans.
+bool IsGraphSearchKind(ScheduleSearchKind kind);
+
 const char* ScheduleSearchKindName(ScheduleSearchKind kind);
-// Parses "heuristic" | "beam" | "evolutionary"; InvalidArgument (listing
-// the valid names) otherwise.
+// Parses "heuristic" | "beam" | "evolutionary" | "graph-beam" |
+// "graph-evolutionary"; InvalidArgument (listing the valid names)
+// otherwise.
 Result<ScheduleSearchKind> ParseScheduleSearchKind(std::string_view name);
 
 struct ScheduleSearchOptions {
@@ -60,6 +71,10 @@ struct ScheduleSearchOptions {
   // Concurrent simulator evaluations per layer (nested ParallelFor on
   // SharedCompilePool; 1 = inline).
   int eval_lanes = 4;
+  // Graph-level kinds: how many distinct candidate GraphPlans (beyond the
+  // always-included heuristic plan) graduate to exact composite-chain
+  // scoring (compiler/plan_search.hpp).
+  int plan_finalists = 4;
 };
 
 // Process-wide search-effort counters (reset by tests/benches; reported by

@@ -180,4 +180,17 @@ i64 CostModel::EstimateAccelFullCycles(AccelEngine engine,
   return compute + weight_dma + exposed + setup + cfg_.runtime_call_overhead;
 }
 
+i64 CostModel::L2TransferCycles(i64 bytes) const {
+  if (bytes <= 0) return 0;
+  return DmaCost1d(cfg_.dma, bytes);
+}
+
+i64 CostModel::CompositeChainCycles(std::span<const i64> unit_cycles,
+                                    std::span<const i64> boundary_bytes) const {
+  i64 total = 0;
+  for (const i64 c : unit_cycles) total += c;
+  for (const i64 b : boundary_bytes) total += L2TransferCycles(b);
+  return total;
+}
+
 }  // namespace htvm::hw

@@ -300,8 +300,8 @@ Result<std::string> EmitLoneOp(const Graph& body, const Node& op,
 // Fallback emitter for composite bodies that are not one of the single-
 // anchor chains: the body is lowered to straight-line C, one block per op,
 // with static intermediate buffers. This is what makes whole-block kernels
-// — the diana.mhsa attention body, activation x activation matmul chains —
-// deployable as real, bit-exact C.
+// — the diana.mhsa attention body, diana.fused2 depth-first conv pairs,
+// activation x activation matmul chains — deployable as real, bit-exact C.
 Result<std::string> EmitGenericBody(const Graph& body, const std::string& fn) {
   std::map<NodeId, std::string> sym;  // node id -> C expression
   std::string decls, code;
@@ -364,7 +364,52 @@ Result<std::string> EmitGenericBody(const Graph& body, const std::string& fn) {
     HTVM_ASSIGN_OR_RETURN(a, operand(n.inputs[0]));
     const TensorType& at = body.node(n.inputs[0]).type;
 
-    if (n.op == "matmul") {
+    if (n.op == "nn.conv2d") {
+      HTVM_ASSIGN_OR_RETURN(w, operand(n.inputs[1]));
+      const TensorType& wt = body.node(n.inputs[1]).type;
+      const auto strides = n.attrs.GetIntVec("strides", {1, 1});
+      auto pad = n.attrs.GetIntVec("padding", {0, 0, 0, 0});
+      if (pad.size() == 2) pad = {pad[0], pad[1], pad[0], pad[1]};
+      const i64 groups = n.attrs.GetInt("groups", 1);
+      const i64 batch = at.shape[0];
+      code += StrFormat("  {  // %s = conv2d(%s, %s)\n", t.c_str(), a.c_str(),
+                        w.c_str());
+      code += StrFormat(
+          "    enum { CC = %lld, KK = %lld, IY = %lld, IX = %lld, OY = %lld, "
+          "OX = %lld,\n           FH = %lld, FW = %lld, SY = %lld, SX = %lld, "
+          "PT = %lld, PL = %lld, GG = %lld };\n",
+          (long long)at.shape[1], (long long)wt.shape[0],
+          (long long)at.shape[2], (long long)at.shape[3],
+          (long long)n.type.shape[2], (long long)n.type.shape[3],
+          (long long)wt.shape[2], (long long)wt.shape[3], (long long)strides[0],
+          (long long)strides[1], (long long)pad[0], (long long)pad[1],
+          (long long)groups);
+      code += StrFormat("    for (int bi = 0; bi < %lld; ++bi)\n",
+                        (long long)batch);
+      code += "    for (int k = 0; k < KK; ++k) {\n";
+      code += "      const int g = k / (KK / GG);\n";
+      code += "      for (int oy = 0; oy < OY; ++oy)\n";
+      code += "      for (int ox = 0; ox < OX; ++ox) {\n";
+      code += "        int32_t acc = 0;\n";
+      code += "        for (int ci = 0; ci < CC / GG; ++ci) {\n";
+      code += "          const int ic = g * (CC / GG) + ci;\n";
+      code += "          for (int fy = 0; fy < FH; ++fy) {\n";
+      code += "            const int iy = oy * SY + fy - PT;\n";
+      code += "            if (iy < 0 || iy >= IY) continue;\n";
+      code += "            for (int fx = 0; fx < FW; ++fx) {\n";
+      code += "              const int ix = ox * SX + fx - PL;\n";
+      code += "              if (ix < 0 || ix >= IX) continue;\n";
+      code += StrFormat(
+          "              acc += (int32_t)%s[(((size_t)bi * CC + ic) * IY + "
+          "iy) * IX + ix] *\n                     %s[(((size_t)k * (CC / GG) "
+          "+ ci) * FH + fy) * FW + fx];\n",
+          a.c_str(), w.c_str());
+      code += "            }\n          }\n        }\n";
+      code += StrFormat(
+          "        %s[(((size_t)bi * KK + k) * OY + oy) * OX + ox] = acc;\n",
+          t.c_str());
+      code += "      }\n    }\n  }\n";
+    } else if (n.op == "matmul") {
       HTVM_ASSIGN_OR_RETURN(b, operand(n.inputs[1]));
       const TensorType& bt = body.node(n.inputs[1]).type;
       const bool tb = n.attrs.GetInt("transpose_b", 1) != 0;

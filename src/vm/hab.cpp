@@ -995,6 +995,11 @@ std::string SerializeHab(const compiler::Artifact& a, const HabMeta& meta) {
   if (a.soc_name != "diana") {
     add(HabSection::kSoc, [&](Writer& w) { w.Str(a.soc_name); });
   }
+  // kPlan only when a graph-level search actually produced a plan: the
+  // heuristic path serializes byte-identically to pre-graph-search HABs.
+  if (!a.plan.empty()) {
+    add(HabSection::kPlan, [&](Writer& w) { w.Str(a.plan.Serialize()); });
+  }
 
   // Lay out payloads 8-byte aligned after header + section table.
   const size_t table_bytes = sections.size() * kHabSectionEntryBytes;
@@ -1182,6 +1187,27 @@ Result<ParsedHab> ParseHab(std::span<const u8> data) {
         return Status::InvalidArgument("hab: soc section names an empty SoC");
       }
       a.soc_name = name;
+    }
+  }
+  // kPlan is optional: absent for heuristic compiles and everything
+  // produced before graph-level search existed. When present, the plan
+  // must name the artifact's own SoC — a plan searched for SoC A encodes
+  // A's fusion legality and dispatch capabilities, so replaying it against
+  // another SoC would be silently wrong. Refuse with a typed error.
+  {
+    const Span s = by_id[static_cast<u32>(HabSection::kPlan)];
+    if (s.data != nullptr) {
+      Reader r(s.data, s.size, "plan");
+      HTVM_ASSIGN_OR_RETURN(text, r.Str());
+      HTVM_RETURN_IF_ERROR(r.ExpectEnd());
+      HTVM_ASSIGN_OR_RETURN(plan, dory::GraphPlan::Deserialize(text));
+      if (plan.soc_name != a.soc_name) {
+        return Status::InvalidArgument(StrFormat(
+            "hab: plan section was searched for soc \"%s\" but the artifact "
+            "targets soc \"%s\" — refusing to replay a cross-SoC plan",
+            plan.soc_name.c_str(), a.soc_name.c_str()));
+      }
+      a.plan = std::move(plan);
     }
   }
   return parsed;

@@ -66,6 +66,12 @@ enum class HabSection : u32 {
   // "diana" HABs stay byte-identical to pre-SoC-family files; a missing
   // section loads as "diana". Skipped (not rejected) by older readers.
   kSoc = 9,       // SocDescription name the artifact was compiled for
+  // Searched fusion/dispatch GraphPlan (dory/graph_plan.hpp), in its own
+  // text form. Written only when a graph-level schedule search ran, so
+  // heuristic HABs stay byte-identical; a missing section loads as the
+  // empty plan. The embedded plan names its SoC, and the loader refuses a
+  // plan whose SoC disagrees with the artifact's.
+  kPlan = 10,     // serialized dory::GraphPlan
 };
 
 // Producer-side metadata carried in the kMeta section; lets a runner or a

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "compiler/pipeline.hpp"
+#include "dory/schedule_search.hpp"
 #include "models/mlperf_tiny.hpp"
 #include "support/rng.hpp"
 #include "vm/hab.hpp"
@@ -178,6 +179,120 @@ TEST(VmLoadFuzz, HugeSectionCountRejected) {
   const u32 huge = 0x7FFFFFFFu;
   std::memcpy(mutated.data() + kHabSectionCountOffset, &huge, sizeof huge);
   EXPECT_FALSE(ParseHab(AsSpan(mutated)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan-section corruption battery: a HAB carrying a searched GraphPlan
+// (HabSection::kPlan) with a mutated plan payload must come back as a typed
+// error (or, for mutations the plan grammar cannot see, still parse) —
+// never crash. The checksum is recomputed after each mutation so the bytes
+// actually reach GraphPlan::Deserialize instead of being rejected upstream.
+// ---------------------------------------------------------------------------
+
+// One graph-beam compiled artifact (plan section present), shared by the
+// plan-corruption cases.
+const std::string& PlanImage() {
+  static const std::string* image = [] {
+    Graph g = models::BuildDsCnn(models::PrecisionPolicy::kMixed);
+    compiler::CompileOptions opt;
+    opt.schedule_search.kind = dory::ScheduleSearchKind::kGraphBeam;
+    auto artifact = compiler::HtvmCompiler{opt}.Compile(g);
+    HTVM_CHECK(artifact.ok());
+    HTVM_CHECK_MSG(!artifact->plan.empty(), "graph-beam produced no plan");
+    HabMeta meta;
+    meta.model_name = "dscnn-planned";
+    meta.producer = "fuzz";
+    return new std::string(SerializeHab(*artifact, meta));
+  }();
+  return *image;
+}
+
+// Section-table entry layout (see hab.cpp): id @0, offset @8, bytes @16,
+// checksum @24.
+struct SectionEntry {
+  size_t entry_pos = 0;
+  u64 offset = 0;
+  u64 bytes = 0;
+};
+
+SectionEntry FindSectionEntry(const std::string& image, HabSection id) {
+  u32 section_count;
+  std::memcpy(&section_count, image.data() + kHabSectionCountOffset,
+              sizeof section_count);
+  for (u32 i = 0; i < section_count; ++i) {
+    const size_t entry = kHabHeaderBytes + size_t{i} * kHabSectionEntryBytes;
+    u32 sid;
+    std::memcpy(&sid, image.data() + entry, sizeof sid);
+    if (sid != static_cast<u32>(id)) continue;
+    SectionEntry found;
+    found.entry_pos = entry;
+    std::memcpy(&found.offset, image.data() + entry + 8, sizeof found.offset);
+    std::memcpy(&found.bytes, image.data() + entry + 16, sizeof found.bytes);
+    return found;
+  }
+  return {};
+}
+
+// Rewrites the plan section's checksum to match its (mutated) payload, so
+// the corruption is seen by the plan parser, not the checksum verifier.
+void FixPlanChecksum(std::string& image, const SectionEntry& plan) {
+  const u64 sum = HabChecksum(
+      reinterpret_cast<const u8*>(image.data()) + plan.offset,
+      static_cast<size_t>(plan.bytes));
+  std::memcpy(image.data() + plan.entry_pos + 24, &sum, sizeof sum);
+}
+
+TEST(VmLoadFuzz, PlanImageParsesAndCarriesThePlan) {
+  auto parsed = ParseHab(AsSpan(PlanImage()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->artifact.plan.empty());
+}
+
+TEST(VmLoadFuzz, CorruptedPlanSectionsAreTypedErrors) {
+  const std::string& image = PlanImage();
+  const SectionEntry plan = FindSectionEntry(image, HabSection::kPlan);
+  ASSERT_GT(plan.bytes, 0u) << "plan section missing from the corpus";
+  Rng rng(0x91A7F1A2ull);
+  int rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = image;
+    // 1-4 byte flips inside the plan payload, then a checksum fix-up.
+    const int flips = 1 + static_cast<int>(rng.NextU64() % 4);
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          plan.offset + rng.NextU64() % plan.bytes);
+      mutated[pos] = static_cast<char>(
+          static_cast<u8>(mutated[pos]) ^ (u8{1} << (rng.NextU64() % 8)));
+    }
+    FixPlanChecksum(mutated, plan);
+    auto parsed = ParseHab(AsSpan(mutated));
+    if (!parsed.ok()) {
+      ++rejected;
+      // Every rejection must be a typed status, not an internal crash
+      // bubbled up some other way.
+      EXPECT_TRUE(parsed.status().code() == StatusCode::kInvalidArgument ||
+                  parsed.status().code() == StatusCode::kUnsupported)
+          << parsed.status().ToString();
+    }
+  }
+  // Most mutations break the plan grammar (or its structural rules); if
+  // nearly everything still parsed, the parser is not actually validating.
+  EXPECT_GT(rejected, 100);
+}
+
+TEST(VmLoadFuzz, GarbagePlanPayloadIsTypedError) {
+  std::string mutated = PlanImage();
+  const SectionEntry plan = FindSectionEntry(mutated, HabSection::kPlan);
+  ASSERT_GT(plan.bytes, 0u);
+  // Stomp the whole payload (including the string length prefix) with a
+  // pattern that is neither a valid length nor valid plan text.
+  for (u64 i = 0; i < plan.bytes; ++i) {
+    mutated[static_cast<size_t>(plan.offset + i)] = '\xAB';
+  }
+  FixPlanChecksum(mutated, plan);
+  auto parsed = ParseHab(AsSpan(mutated));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -77,7 +77,7 @@ options:
                              misses overlap kernel compilation instead of
                              serializing behind one compile
   --seed <n>                 trace seed (metrics are deterministic in it)
-  --schedule-search <heuristic|beam|evolutionary>
+  --schedule-search <heuristic|beam|evolutionary|graph-beam|graph-evolutionary>
                              tile-schedule search strategy for compiles
                              (default heuristic; beam/evolutionary search
                              with the hw cost model — pair with --cache-dir

@@ -102,7 +102,7 @@ options:
                                               concurrency, 1 = sequential;
                                               artifacts are byte-identical
                                               for every value)
-  --schedule-search <heuristic|beam|evolutionary>
+  --schedule-search <heuristic|beam|evolutionary|graph-beam|graph-evolutionary>
                                               tile-schedule search strategy
                                               (default heuristic = DORY
                                               Eq. 1-5 picker; beam and
@@ -292,6 +292,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(ss.simulator_evals()),
         static_cast<long long>(ss.memo_hits()),
         static_cast<long long>(ss.layers_searched()));
+  }
+  if (!artifact->plan.empty()) {
+    std::printf("graph-plan: units=%zu fused=%lld cpu=%lld\n",
+                artifact->plan.decisions.size(),
+                static_cast<long long>(artifact->plan.FusedPairs()),
+                static_cast<long long>(artifact->plan.CpuDecisions()));
   }
 
   std::printf("%zu kernels | %.3f ms full (%.3f ms peak) | %s | L2 %s\n",
